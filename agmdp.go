@@ -1,0 +1,216 @@
+// Package agmdp is the public facade of the AGM-DP library, a Go
+// implementation of "Publishing Attributed Social Graphs with Formal Privacy
+// Guarantees" (Jorgensen, Yu, Cormode; SIGMOD 2016).
+//
+// The library synthesizes attributed social graphs that mimic the structure
+// (degree distribution, triangle count, clustering) and the attribute–edge
+// correlations (homophily) of a sensitive input graph while satisfying
+// ε-differential privacy under the edge-adjacency model of Definition 1 (two
+// graphs are neighbours if they differ in one edge or in the attribute vector
+// of one node).
+//
+// Typical usage:
+//
+//	g := agmdp.NewGraph(n, 2)            // build or load the sensitive graph
+//	...
+//	out, model, err := agmdp.Synthesize(g, agmdp.Options{Epsilon: 1.0, Seed: 7})
+//	// out is a synthetic attributed graph safe to publish under ε = 1.0.
+//
+// The facade re-exports the attributed graph type, dataset generators,
+// evaluation metrics and the experiment drivers; the full lower-level API
+// lives in the internal packages and is exercised by the examples under
+// examples/ and the benchmark harness in bench_test.go.
+package agmdp
+
+import (
+	"fmt"
+	"strings"
+
+	"agmdp/internal/attrs"
+	"agmdp/internal/core"
+	"agmdp/internal/datasets"
+	"agmdp/internal/dp"
+	"agmdp/internal/experiments"
+	"agmdp/internal/graph"
+	"agmdp/internal/structural"
+)
+
+// Graph is an attributed, undirected simple graph. See the methods on
+// *Graph for construction, mutation and measurement.
+type Graph = graph.Graph
+
+// AttrVector is a node's binary attribute vector, stored as a bitmask.
+type AttrVector = graph.AttrVector
+
+// Summary bundles the headline statistics of a graph (Table 6 of the paper).
+type Summary = graph.Summary
+
+// FittedModel holds learned AGM parameters (exact or differentially private).
+type FittedModel = core.FittedModel
+
+// Metrics holds the error columns used by the paper's evaluation tables.
+type Metrics = experiments.GraphMetrics
+
+// DatasetProfile describes one of the calibrated synthetic dataset
+// generators standing in for the paper's real datasets.
+type DatasetProfile = datasets.Profile
+
+// NewGraph returns an empty attributed graph with n nodes and w binary
+// attributes per node.
+func NewGraph(n, w int) *Graph { return graph.New(n, w) }
+
+// LoadGraph reads an attributed graph from a file in the library's
+// self-describing text format (see SaveGraph).
+func LoadGraph(path string) (*Graph, error) { return graph.LoadGraph(path) }
+
+// SaveGraph writes an attributed graph to a file in the library's
+// self-describing text format.
+func SaveGraph(g *Graph, path string) error { return graph.SaveGraph(g, path) }
+
+// LoadEdgeList reads a plain whitespace-separated edge list (without
+// attributes) from a file.
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// ModelKind selects the structural model used by Fit/Synthesize.
+type ModelKind string
+
+// Supported structural models.
+const (
+	// ModelTriCycLe is the paper's new structural model (Algorithm 1); it is
+	// the default and reproduces both the degree distribution and the
+	// clustering of the input.
+	ModelTriCycLe ModelKind = "tricycle"
+	// ModelFCL is the simple (bias-corrected) Fast Chung–Lu model; it matches
+	// the degree distribution only.
+	ModelFCL ModelKind = "fcl"
+)
+
+// structuralModel maps a ModelKind to its implementation.
+func structuralModel(kind ModelKind) (structural.Model, error) {
+	switch strings.ToLower(string(kind)) {
+	case "", string(ModelTriCycLe), "tricl":
+		return structural.TriCycLe{}, nil
+	case string(ModelFCL):
+		return structural.FCL{}, nil
+	default:
+		return nil, fmt.Errorf("agmdp: unknown structural model %q (want %q or %q)", kind, ModelTriCycLe, ModelFCL)
+	}
+}
+
+// Options configures Fit and Synthesize.
+type Options struct {
+	// Epsilon is the total differential-privacy budget ε. It must be positive
+	// for private synthesis; use the Non-Private variants for ε = ∞ baselines.
+	Epsilon float64
+	// Model selects the structural model (default ModelTriCycLe).
+	Model ModelKind
+	// TruncationK overrides the edge-truncation parameter used when learning
+	// the attribute–edge correlations; zero selects the paper's heuristic
+	// k = n^{1/3}.
+	TruncationK int
+	// SampleIterations is the number of acceptance-probability refinement
+	// rounds in the synthesis step (default 3).
+	SampleIterations int
+	// Seed seeds the deterministic random source used for both fitting and
+	// sampling. Runs with equal seeds and inputs are reproducible.
+	Seed int64
+}
+
+// Fit learns ε-differentially private AGM parameters from the sensitive graph
+// g without sampling a synthetic graph. The returned model can be stored and
+// used to sample any number of synthetic graphs with Sample at no additional
+// privacy cost.
+func Fit(g *Graph, opts Options) (*FittedModel, error) {
+	model, err := structuralModel(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	rng := dp.NewRand(opts.Seed)
+	return core.FitDP(rng, g, core.Config{
+		Epsilon:     opts.Epsilon,
+		TruncationK: opts.TruncationK,
+		Model:       model,
+	})
+}
+
+// FitNonPrivate learns exact AGM parameters (no privacy), the baseline the
+// paper calls AGM-FCL / AGM-TriCL.
+func FitNonPrivate(g *Graph, kind ModelKind) (*FittedModel, error) {
+	model, err := structuralModel(kind)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fit(g, model), nil
+}
+
+// Sample draws one synthetic attributed graph from a fitted model. By the
+// post-processing property of differential privacy this consumes no
+// additional privacy budget.
+func Sample(m *FittedModel, opts Options) (*Graph, error) {
+	model, err := structuralModel(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	rng := dp.NewRand(opts.Seed)
+	return core.Sample(rng, m, core.SampleOptions{Iterations: opts.SampleIterations, Model: model})
+}
+
+// Synthesize runs the complete AGM-DP pipeline (Algorithm 3 of the paper):
+// it learns private model parameters from g under the budget opts.Epsilon and
+// samples one synthetic graph. The synthetic graph and the fitted model are
+// returned; the fitted model can be reused with Sample to draw more graphs.
+func Synthesize(g *Graph, opts Options) (*Graph, *FittedModel, error) {
+	model, err := structuralModel(opts.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := dp.NewRand(opts.Seed)
+	return core.Synthesize(rng, g, core.Config{
+		Epsilon:     opts.Epsilon,
+		TruncationK: opts.TruncationK,
+		Model:       model,
+	}, core.SampleOptions{Iterations: opts.SampleIterations, Model: model})
+}
+
+// SynthesizeNonPrivate runs the original (non-private) AGM workflow, used as
+// the reference point in the paper's tables.
+func SynthesizeNonPrivate(g *Graph, kind ModelKind, seed int64) (*Graph, *FittedModel, error) {
+	model, err := structuralModel(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := dp.NewRand(seed)
+	return core.SynthesizeNonPrivate(rng, g, model, core.SampleOptions{})
+}
+
+// Evaluate compares a synthetic graph against the original input and returns
+// the error metrics used throughout the paper's evaluation (Tables 2–5).
+func Evaluate(original, synthetic *Graph) Metrics {
+	return experiments.CompareGraphs(original, synthetic)
+}
+
+// AttributeDistribution returns the exact node-attribute distribution ΘX of a
+// graph.
+func AttributeDistribution(g *Graph) []float64 { return attrs.TrueThetaX(g) }
+
+// CorrelationDistribution returns the exact attribute–edge correlation
+// distribution ΘF of a graph.
+func CorrelationDistribution(g *Graph) []float64 { return attrs.TrueThetaF(g) }
+
+// Datasets returns the calibrated synthetic dataset profiles standing in for
+// the paper's four real-world social networks.
+func Datasets() []DatasetProfile { return datasets.AllProfiles() }
+
+// GenerateDataset builds one synthetic dataset by name ("lastfm", "petster",
+// "epinions", "pokec") at the given scale (0 < scale ≤ 1; zero selects the
+// profile's default scale) with a deterministic seed.
+func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
+	p, err := datasets.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = p.DefaultScale
+	}
+	return datasets.Generate(dp.NewRand(seed), p.Scaled(scale)), nil
+}

@@ -1,0 +1,173 @@
+package agmdp
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// testGraph builds a small calibrated dataset for facade tests.
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := GenerateDataset("lastfm", 0.25, 11)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	return g
+}
+
+func TestNewGraphAndRoundTrip(t *testing.T) {
+	g := NewGraph(4, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.SetAttr(0, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := SaveGraph(g, path); err != nil {
+		t.Fatalf("SaveGraph: %v", err)
+	}
+	back, err := LoadGraph(path)
+	if err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("facade round trip lost information")
+	}
+}
+
+func TestDatasetsListing(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 4 {
+		t.Fatalf("Datasets returned %d profiles, want 4", len(ds))
+	}
+	if _, err := GenerateDataset("unknown", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	g, err := GenerateDataset("petster", 0, 3) // zero scale → profile default
+	if err != nil {
+		t.Fatalf("GenerateDataset default scale: %v", err)
+	}
+	if g.NumNodes() == 0 {
+		t.Fatal("default-scale dataset is empty")
+	}
+}
+
+func TestSynthesizePrivateEndToEnd(t *testing.T) {
+	g := testGraph(t)
+	synth, model, err := Synthesize(g, Options{Epsilon: 1.0, Seed: 3, SampleIterations: 2})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !model.Private() || model.Epsilon != 1.0 {
+		t.Fatalf("model epsilon = %v, want 1.0", model.Epsilon)
+	}
+	if synth.NumNodes() != g.NumNodes() || synth.NumAttributes() != g.NumAttributes() {
+		t.Fatal("synthetic graph shape mismatch")
+	}
+	m := Evaluate(g, synth)
+	if m.KSDegree > 0.45 {
+		t.Fatalf("degree KS %v worse than the random baseline", m.KSDegree)
+	}
+	if m.HellingerThetaF > 0.37 {
+		t.Fatalf("correlation Hellinger %v worse than the uniform baseline", m.HellingerThetaF)
+	}
+}
+
+func TestSynthesizeRejectsBadOptions(t *testing.T) {
+	g := testGraph(t)
+	if _, _, err := Synthesize(g, Options{Epsilon: 0}); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+	if _, _, err := Synthesize(g, Options{Epsilon: 1, Model: "kronecker"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestFitAndSampleSeparately(t *testing.T) {
+	g := testGraph(t)
+	model, err := Fit(g, Options{Epsilon: math.Log(2), Seed: 5, Model: ModelFCL})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if model.ModelName != "FCL" {
+		t.Fatalf("ModelName = %q", model.ModelName)
+	}
+	a, err := Sample(model, Options{Seed: 6, Model: ModelFCL, SampleIterations: 1})
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	b, err := Sample(model, Options{Seed: 7, Model: ModelFCL, SampleIterations: 1})
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if a.NumEdges() == 0 || b.NumEdges() == 0 {
+		t.Fatal("sampled graphs have no edges")
+	}
+	if a.Equal(b) {
+		t.Fatal("different sampling seeds produced identical graphs")
+	}
+}
+
+func TestFitNonPrivateMatchesExactDistributions(t *testing.T) {
+	g := testGraph(t)
+	model, err := FitNonPrivate(g, ModelTriCycLe)
+	if err != nil {
+		t.Fatalf("FitNonPrivate: %v", err)
+	}
+	if model.Private() {
+		t.Fatal("non-private model claims to be private")
+	}
+	exactX := AttributeDistribution(g)
+	for i := range exactX {
+		if model.ThetaX[i] != exactX[i] {
+			t.Fatal("non-private ThetaX is not exact")
+		}
+	}
+	if len(CorrelationDistribution(g)) != len(model.ThetaF) {
+		t.Fatal("correlation distribution length mismatch")
+	}
+	if _, err := FitNonPrivate(g, "bogus"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestSynthesizeNonPrivateFacade(t *testing.T) {
+	g := testGraph(t)
+	synth, model, err := SynthesizeNonPrivate(g, ModelTriCycLe, 9)
+	if err != nil {
+		t.Fatalf("SynthesizeNonPrivate: %v", err)
+	}
+	if model.Private() {
+		t.Fatal("non-private synthesis produced a private model")
+	}
+	m := Evaluate(g, synth)
+	if m.MRETriangles > 0.6 {
+		t.Fatalf("non-private TriCycLe triangle error %v too large", m.MRETriangles)
+	}
+	if _, _, err := SynthesizeNonPrivate(g, "bogus", 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestReproducibilityWithSeeds(t *testing.T) {
+	g := testGraph(t)
+	a, _, err := Synthesize(g, Options{Epsilon: 1, Seed: 42, SampleIterations: 1})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	b, _, err := Synthesize(g, Options{Epsilon: 1, Seed: 42, SampleIterations: 1})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("equal seeds did not reproduce the same synthetic graph")
+	}
+}
+
+func TestEvaluateIdenticalGraphs(t *testing.T) {
+	g := testGraph(t)
+	m := Evaluate(g, g)
+	if m.MREEdges != 0 || m.KSDegree != 0 || m.HellingerThetaF != 0 {
+		t.Fatalf("identical graphs should have zero error: %+v", m)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"agmdp/internal/experiments"
+)
+
+// tinyOpts keeps the CLI smoke tests fast.
+func tinyOpts() experiments.Options {
+	return experiments.Options{Scale: 0.08, Trials: 1, Seed: 2, SampleIterations: 1}
+}
+
+func TestRunExperimentKnownNames(t *testing.T) {
+	for _, name := range []string{"table6", "fig1", "fig5"} {
+		if err := runExperiment(name, tinyOpts(), []string{"lastfm"}); err != nil {
+			t.Fatalf("runExperiment(%s): %v", name, err)
+		}
+	}
+}
+
+func TestRunExperimentTableAndFigure23(t *testing.T) {
+	if err := runExperiment("table2", tinyOpts(), nil); err != nil {
+		t.Fatalf("runExperiment(table2): %v", err)
+	}
+	if err := runExperiment("fig2", tinyOpts(), []string{"petster"}); err != nil {
+		t.Fatalf("runExperiment(fig2): %v", err)
+	}
+}
+
+func TestRunExperimentUnknownName(t *testing.T) {
+	if err := runExperiment("table99", tinyOpts(), nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableDatasetsMapping(t *testing.T) {
+	want := map[string]string{"table2": "lastfm", "table3": "petster", "table4": "epinions", "table5": "pokec"}
+	for k, v := range want {
+		if tableDatasets[k] != v {
+			t.Fatalf("tableDatasets[%s] = %s, want %s", k, tableDatasets[k], v)
+		}
+	}
+}

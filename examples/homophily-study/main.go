@@ -1,0 +1,78 @@
+// Homophily study: the motivating analysis from the paper's introduction.
+// Social graphs exhibit homophily — nodes with similar attributes connect more
+// often than chance — and analyses such as relational machine learning rely on
+// it. This example checks that AGM-DP's synthetic graphs preserve the
+// attribute–edge correlations well enough for a downstream homophily analysis
+// to reach the same conclusions, without ever looking at the sensitive graph.
+//
+// Run with:
+//
+//	go run ./examples/homophily-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agmdp"
+)
+
+func main() {
+	input, err := agmdp.GenerateDataset("pokec", 0.02, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensitive graph: %d nodes, %d edges, 2 binary attributes (sex, age ≤ 30)\n\n",
+		input.NumNodes(), input.NumEdges())
+
+	// Publish a synthetic graph under a strong privacy budget.
+	synth, _, err := agmdp.Synthesize(input, agmdp.Options{Epsilon: 0.3, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("homophily analysis (fraction of edges joining nodes with equal attribute values):")
+	fmt.Printf("%-22s %12s %12s\n", "attribute", "sensitive", "synthetic")
+	for j, name := range []string{"attribute 0 (sex)", "attribute 1 (age<=30)"} {
+		fmt.Printf("%-22s %12.4f %12.4f\n", name, sameAttributeEdgeFraction(input, j), sameAttributeEdgeFraction(synth, j))
+	}
+	fmt.Printf("%-22s %12.4f %12.4f\n", "both attributes equal", sameConfigEdgeFraction(input), sameConfigEdgeFraction(synth))
+
+	m := agmdp.Evaluate(input, synth)
+	fmt.Printf("\ncorrelation fidelity: MAE %.4f, Hellinger %.4f (uniform baseline ≈ 0.12 / 0.5 on Pokec)\n",
+		m.MREThetaF, m.HellingerThetaF)
+	fmt.Println("A downstream analyst can therefore study homophily on the synthetic graph")
+	fmt.Println("and observe the same qualitative effect as on the sensitive graph.")
+}
+
+// sameAttributeEdgeFraction returns the fraction of edges whose endpoints
+// agree on attribute j.
+func sameAttributeEdgeFraction(g *agmdp.Graph, j int) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	same := 0
+	g.ForEachEdge(func(u, v int) bool {
+		if g.Attr(u).Bit(j) == g.Attr(v).Bit(j) {
+			same++
+		}
+		return true
+	})
+	return float64(same) / float64(g.NumEdges())
+}
+
+// sameConfigEdgeFraction returns the fraction of edges whose endpoints share
+// the full attribute vector.
+func sameConfigEdgeFraction(g *agmdp.Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	same := 0
+	g.ForEachEdge(func(u, v int) bool {
+		if g.Attr(u) == g.Attr(v) {
+			same++
+		}
+		return true
+	})
+	return float64(same) / float64(g.NumEdges())
+}

@@ -1,0 +1,81 @@
+package attrs
+
+import (
+	"fmt"
+
+	"agmdp/internal/graph"
+)
+
+// Binarizer converts categorical node attributes into the binary attribute
+// vectors the AGM-DP pipeline operates on, following the paper's prescription
+// for non-binary attributes (Section 7): each categorical attribute with c
+// possible values becomes c one-hot binary attributes (for example, marital
+// status splits into isMarried / isDivorced / isSingleOrWidowed).
+//
+// The total binary width is the sum of the cardinalities and must not exceed
+// graph.MaxAttributes. Note that, exactly as the paper cautions, widening the
+// attribute vector does not change the sensitivity of any mechanism but does
+// increase the number of counts estimated for ΘX and ΘF, so accuracy degrades
+// as the total width grows.
+type Binarizer struct {
+	cardinalities []int
+	offsets       []int
+	width         int
+}
+
+// NewBinarizer creates a Binarizer for a sequence of categorical attributes
+// given their cardinalities (each must be at least 2).
+func NewBinarizer(cardinalities ...int) (*Binarizer, error) {
+	if len(cardinalities) == 0 {
+		return nil, fmt.Errorf("attrs: binarizer needs at least one attribute")
+	}
+	b := &Binarizer{cardinalities: append([]int(nil), cardinalities...)}
+	for i, c := range cardinalities {
+		if c < 2 {
+			return nil, fmt.Errorf("attrs: attribute %d has cardinality %d; want ≥ 2", i, c)
+		}
+		b.offsets = append(b.offsets, b.width)
+		b.width += c
+	}
+	if b.width > graph.MaxAttributes {
+		return nil, fmt.Errorf("attrs: binarized width %d exceeds the maximum of %d", b.width, graph.MaxAttributes)
+	}
+	return b, nil
+}
+
+// Width returns the total number of binary attributes produced.
+func (b *Binarizer) Width() int { return b.width }
+
+// Encode converts one node's categorical values (one per attribute, each in
+// [0, cardinality)) into a one-hot binary attribute vector.
+func (b *Binarizer) Encode(values ...int) (graph.AttrVector, error) {
+	if len(values) != len(b.cardinalities) {
+		return 0, fmt.Errorf("attrs: got %d values for %d categorical attributes", len(values), len(b.cardinalities))
+	}
+	var out graph.AttrVector
+	for i, v := range values {
+		if v < 0 || v >= b.cardinalities[i] {
+			return 0, fmt.Errorf("attrs: value %d for attribute %d outside [0, %d)", v, i, b.cardinalities[i])
+		}
+		out = out.WithBit(b.offsets[i]+v, 1)
+	}
+	return out, nil
+}
+
+// Decode recovers the categorical values from a one-hot binary vector produced
+// by Encode (or sampled by the synthesis step). If a block has no bit set the
+// value 0 is reported for it; if several bits are set the lowest one wins —
+// both can happen for vectors sampled from a noisy ΘX, and resolving them to a
+// valid category keeps downstream analyses simple.
+func (b *Binarizer) Decode(a graph.AttrVector) []int {
+	out := make([]int, len(b.cardinalities))
+	for i, c := range b.cardinalities {
+		for v := 0; v < c; v++ {
+			if a.Bit(b.offsets[i]+v) == 1 {
+				out[i] = v
+				break
+			}
+		}
+	}
+	return out
+}

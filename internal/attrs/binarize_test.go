@@ -1,0 +1,85 @@
+package attrs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBinarizerValidation(t *testing.T) {
+	if _, err := NewBinarizer(); err == nil {
+		t.Fatal("empty binarizer accepted")
+	}
+	if _, err := NewBinarizer(1); err == nil {
+		t.Fatal("cardinality 1 accepted")
+	}
+	if _, err := NewBinarizer(40, 40); err == nil {
+		t.Fatal("width above MaxAttributes accepted")
+	}
+	b, err := NewBinarizer(3, 2)
+	if err != nil {
+		t.Fatalf("NewBinarizer(3,2): %v", err)
+	}
+	if b.Width() != 5 {
+		t.Fatalf("Width = %d, want 5", b.Width())
+	}
+}
+
+func TestBinarizerEncode(t *testing.T) {
+	b, _ := NewBinarizer(3, 2) // e.g. marital status (3 values) and sex (2 values)
+	a, err := b.Encode(1, 0)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Attribute 0 block occupies bits 0..2, attribute 1 block bits 3..4.
+	if a.Bit(1) != 1 || a.Bit(3) != 1 {
+		t.Fatalf("Encode(1,0) = %b, want bits 1 and 3 set", a)
+	}
+	if a.Bit(0) != 0 || a.Bit(2) != 0 || a.Bit(4) != 0 {
+		t.Fatalf("Encode(1,0) = %b has stray bits", a)
+	}
+}
+
+func TestBinarizerEncodeErrors(t *testing.T) {
+	b, _ := NewBinarizer(3, 2)
+	if _, err := b.Encode(1); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := b.Encode(3, 0); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := b.Encode(0, -1); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestBinarizerRoundTripProperty(t *testing.T) {
+	b, _ := NewBinarizer(4, 3, 2)
+	f := func(raw0, raw1, raw2 uint8) bool {
+		v := []int{int(raw0 % 4), int(raw1 % 3), int(raw2 % 2)}
+		a, err := b.Encode(v...)
+		if err != nil {
+			return false
+		}
+		got := b.Decode(a)
+		return got[0] == v[0] && got[1] == v[1] && got[2] == v[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarizerDecodeDegenerateVectors(t *testing.T) {
+	b, _ := NewBinarizer(3, 2)
+	// No bits set: every attribute decodes to 0.
+	got := b.Decode(0)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("Decode(0) = %v, want [0 0]", got)
+	}
+	// Multiple bits set in a block: the lowest wins.
+	a, _ := b.Encode(2, 1)
+	a = a.WithBit(0, 1) // also set category 0 of the first attribute
+	got = b.Decode(a)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Decode with conflicting bits = %v, want [0 1]", got)
+	}
+}

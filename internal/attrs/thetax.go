@@ -1,0 +1,62 @@
+package attrs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"agmdp/internal/dp"
+	"agmdp/internal/graph"
+)
+
+// ThetaXSensitivity is the L1 global sensitivity of the node-configuration
+// count vector Q_X: changing one node's attribute vector decreases one count
+// by one and increases another by one, and edge changes have no effect.
+const ThetaXSensitivity = 2.0
+
+// NodeConfigCounts returns Q_X, the number of nodes with each attribute
+// configuration, indexed by NodeConfig.
+func NodeConfigCounts(g *graph.Graph) []float64 {
+	w := g.NumAttributes()
+	counts := make([]float64, NumNodeConfigs(w))
+	for i := 0; i < g.NumNodes(); i++ {
+		counts[NodeConfig(g.Attr(i), w)]++
+	}
+	return counts
+}
+
+// TrueThetaX returns the exact attribute distribution ΘX of the input graph:
+// ΘX(y) is the fraction of nodes whose attribute vector encodes to y.
+func TrueThetaX(g *graph.Graph) []float64 {
+	return dp.NormalizeToDistribution(NodeConfigCounts(g))
+}
+
+// LearnAttributesDP (Algorithm 5) releases an ε-differentially private
+// estimate of ΘX: it computes the node-configuration counts, perturbs each
+// with Laplace noise of scale 2/ε, clamps the noisy counts to [0, n] and
+// normalises them into a distribution.
+func LearnAttributesDP(rng *rand.Rand, g *graph.Graph, epsilon float64) []float64 {
+	if epsilon <= 0 {
+		panic(fmt.Sprintf("attrs: non-positive epsilon %v", epsilon))
+	}
+	counts := NodeConfigCounts(g)
+	noisy := dp.LaplaceVector(rng, counts, ThetaXSensitivity, epsilon)
+	n := float64(g.NumNodes())
+	for i := range noisy {
+		noisy[i] = dp.Clamp(noisy[i], 0, n)
+	}
+	return dp.NormalizeToDistribution(noisy)
+}
+
+// SampleAttributes draws a fresh attribute vector for each of n nodes
+// independently from the (possibly noisy) distribution thetaX, as the AGM-DP
+// synthesis step does after learning Θ̃X. The result is indexed by node ID.
+func SampleAttributes(rng *rand.Rand, thetaX []float64, n, w int) []graph.AttrVector {
+	if len(thetaX) != NumNodeConfigs(w) {
+		panic(fmt.Sprintf("attrs: thetaX has %d entries, want %d for w=%d", len(thetaX), NumNodeConfigs(w), w))
+	}
+	out := make([]graph.AttrVector, n)
+	for i := 0; i < n; i++ {
+		out[i] = ConfigToVector(SampleIndex(rng, thetaX), w)
+	}
+	return out
+}

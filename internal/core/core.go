@@ -1,0 +1,207 @@
+// Package core implements the Attributed Graph Model (AGM) of Pfeiffer et al.
+// and the paper's differentially private adaptation AGM-DP (Algorithm 3). It
+// ties together the attribute estimators (package attrs), the private degree
+// sequence and triangle count estimators (packages degrees and triangles) and
+// the structural generators (package structural) into the end-to-end workflow
+// of Figure 4: learn Θ̃X, Θ̃F and Θ̃M from the sensitive input graph under a
+// split privacy budget, then sample synthetic attributed graphs from the
+// learned model without ever touching the input again.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"agmdp/internal/attrs"
+	"agmdp/internal/degrees"
+	"agmdp/internal/dp"
+	"agmdp/internal/graph"
+	"agmdp/internal/structural"
+	"agmdp/internal/triangles"
+)
+
+// DefaultSampleIterations is the number of acceptance-probability refinement
+// rounds used when sampling (the paper reports convergence "after just a few
+// iterations").
+const DefaultSampleIterations = 3
+
+// ErrUnsupportedModel is returned when FitDP is asked to privately fit a
+// structural model it has no private estimator for (for example TCL, whose EM
+// parameter cannot currently be released under differential privacy).
+var ErrUnsupportedModel = errors.New("core: structural model has no differentially private fitting procedure")
+
+// FittedModel holds the (exact or privately estimated) AGM parameters learned
+// from an input graph. A FittedModel is all that is needed to sample synthetic
+// graphs; it never retains a reference to the input graph.
+type FittedModel struct {
+	// N is the (public) number of nodes.
+	N int
+	// W is the number of binary node attributes.
+	W int
+	// ThetaX is the node-attribute distribution over the 2^W configurations.
+	ThetaX []float64
+	// ThetaF is the attribute–edge correlation distribution over the
+	// NumEdgeConfigs(W) unordered configuration pairs.
+	ThetaF []float64
+	// Structural carries the structural-model parameters ΘM (degree sequence,
+	// triangle count, transitive-closure probability).
+	Structural structural.Params
+	// ModelName records which structural model the parameters were fitted for.
+	ModelName string
+	// Epsilon is the total privacy budget consumed to learn the parameters;
+	// zero means the model was fitted without privacy.
+	Epsilon float64
+}
+
+// Private reports whether the model was learned under differential privacy.
+func (m *FittedModel) Private() bool { return m.Epsilon > 0 }
+
+// Validate performs basic consistency checks on the fitted parameters.
+func (m *FittedModel) Validate() error {
+	if m.N < 0 {
+		return fmt.Errorf("core: negative node count %d", m.N)
+	}
+	if m.W < 0 || m.W > graph.MaxAttributes {
+		return fmt.Errorf("core: attribute width %d out of range", m.W)
+	}
+	if len(m.ThetaX) != attrs.NumNodeConfigs(m.W) {
+		return fmt.Errorf("core: ThetaX has %d entries, want %d", len(m.ThetaX), attrs.NumNodeConfigs(m.W))
+	}
+	if len(m.ThetaF) != attrs.NumEdgeConfigs(m.W) {
+		return fmt.Errorf("core: ThetaF has %d entries, want %d", len(m.ThetaF), attrs.NumEdgeConfigs(m.W))
+	}
+	return m.Structural.Validate(m.N)
+}
+
+// Config controls FitDP, the differentially private fitting procedure.
+type Config struct {
+	// Epsilon is the total privacy budget ε shared by all learned parameters.
+	Epsilon float64
+	// TruncationK is the edge-truncation parameter for learning Θ̃F; zero
+	// selects the paper's data-independent heuristic k = n^{1/3}.
+	TruncationK int
+	// Model is the structural model the parameters are fitted for; nil selects
+	// TriCycLe.
+	Model structural.Model
+	// BudgetSplit optionally overrides how ε is divided among {ΘX, ΘF, S, n∆}
+	// (TriCycLe) or {ΘX, ΘF, S} (FCL). Nil uses the paper's splits: an even
+	// four-way split for TriCycLe, and ½ for S plus ¼ each for ΘX and ΘF for
+	// FCL.
+	BudgetSplit []float64
+}
+
+// normalizedModel returns the configured structural model, defaulting to
+// TriCycLe.
+func (c Config) normalizedModel() structural.Model {
+	if c.Model == nil {
+		return structural.TriCycLe{}
+	}
+	return c.Model
+}
+
+// Fit learns exact (non-private) AGM parameters from g for the given
+// structural model. It is the baseline the paper reports as AGM-FCL /
+// AGM-TriCL.
+func Fit(g *graph.Graph, model structural.Model) *FittedModel {
+	if model == nil {
+		model = structural.TriCycLe{}
+	}
+	params := structural.Params{Degrees: g.DegreeSequence()}
+	switch model.(type) {
+	case structural.TriCycLe:
+		params.Triangles = g.Triangles()
+	case structural.TCL:
+		params.Rho = structural.FitRho(g, 0)
+	}
+	return &FittedModel{
+		N:          g.NumNodes(),
+		W:          g.NumAttributes(),
+		ThetaX:     attrs.TrueThetaX(g),
+		ThetaF:     attrs.TrueThetaF(g),
+		Structural: params,
+		ModelName:  model.Name(),
+	}
+}
+
+// FitDP (lines 2–5 of Algorithm 3) learns ε-differentially private AGM
+// parameters from g. The privacy budget is split among the attribute
+// distribution, the attribute–edge correlations and the structural parameters
+// according to the configured split; sequential composition over the disjoint
+// learning procedures gives a total privacy cost of ε.
+func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
+	if cfg.Epsilon <= 0 {
+		return nil, fmt.Errorf("core: non-positive privacy budget %v", cfg.Epsilon)
+	}
+	model := cfg.normalizedModel()
+	k := cfg.TruncationK
+	if k <= 0 {
+		k = attrs.DefaultTruncationK(g.NumNodes())
+	}
+
+	var epsX, epsF, epsS, epsTri float64
+	switch model.(type) {
+	case structural.TriCycLe:
+		split := cfg.BudgetSplit
+		if split == nil {
+			split = dp.SplitEven(cfg.Epsilon, 4)
+		}
+		if len(split) != 4 {
+			return nil, fmt.Errorf("core: TriCycLe budget split needs 4 parts, got %d", len(split))
+		}
+		epsX, epsF, epsS, epsTri = split[0], split[1], split[2], split[3]
+	case structural.FCL:
+		split := cfg.BudgetSplit
+		if split == nil {
+			split = dp.SplitWeighted(cfg.Epsilon, []float64{1, 1, 2})
+		}
+		if len(split) != 3 {
+			return nil, fmt.Errorf("core: FCL budget split needs 3 parts, got %d", len(split))
+		}
+		epsX, epsF, epsS = split[0], split[1], split[2]
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrUnsupportedModel, model.Name())
+	}
+
+	budget := dp.NewBudget(cfg.Epsilon)
+	charge := func(eps float64) error {
+		if eps <= 0 {
+			return fmt.Errorf("core: non-positive budget share %v", eps)
+		}
+		return budget.Spend(eps)
+	}
+
+	// Θ̃X — LearnAttributesDP (Algorithm 5).
+	if err := charge(epsX); err != nil {
+		return nil, err
+	}
+	thetaX := attrs.LearnAttributesDP(rng, g, epsX)
+
+	// Θ̃F — LearnCorrelationsDP (Algorithm 4, edge truncation).
+	if err := charge(epsF); err != nil {
+		return nil, err
+	}
+	thetaF := attrs.LearnCorrelationsDP(rng, g, epsF, k)
+
+	// Θ̃M — FitTriCycLeDP (Algorithm 6) or the FCL degree sequence.
+	if err := charge(epsS); err != nil {
+		return nil, err
+	}
+	params := structural.Params{Degrees: degrees.PrivateSequence(rng, g, epsS)}
+	if _, ok := model.(structural.TriCycLe); ok {
+		if err := charge(epsTri); err != nil {
+			return nil, err
+		}
+		params.Triangles = triangles.PrivateCount(rng, g, epsTri)
+	}
+
+	return &FittedModel{
+		N:          g.NumNodes(),
+		W:          g.NumAttributes(),
+		ThetaX:     thetaX,
+		ThetaF:     thetaF,
+		Structural: params,
+		ModelName:  model.Name(),
+		Epsilon:    cfg.Epsilon,
+	}, nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"agmdp/internal/attrs"
+	"agmdp/internal/datasets"
+	"agmdp/internal/dp"
+	"agmdp/internal/graph"
+	"agmdp/internal/stats"
+	"agmdp/internal/structural"
+)
+
+// testInputGraph returns a moderately sized attributed social-style graph used
+// throughout the core tests (a scaled-down Last.fm stand-in).
+func testInputGraph(seed int64) *graph.Graph {
+	p, err := datasets.ByName("lastfm")
+	if err != nil {
+		panic(err)
+	}
+	return datasets.Generate(dp.NewRand(seed), p.Scaled(0.3))
+}
+
+func TestFitNonPrivateParameters(t *testing.T) {
+	g := testInputGraph(1)
+	m := Fit(g, structural.TriCycLe{})
+	if m.Private() {
+		t.Fatal("non-private fit reports Private() = true")
+	}
+	if m.ModelName != "TriCycLe" {
+		t.Fatalf("ModelName = %q", m.ModelName)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	wantX := attrs.TrueThetaX(g)
+	for i := range wantX {
+		if m.ThetaX[i] != wantX[i] {
+			t.Fatal("non-private ThetaX differs from the exact distribution")
+		}
+	}
+	if m.Structural.Triangles != g.Triangles() {
+		t.Fatalf("fitted triangles = %d, want %d", m.Structural.Triangles, g.Triangles())
+	}
+	if len(m.Structural.Degrees) != g.NumNodes() {
+		t.Fatalf("degree sequence length = %d, want %d", len(m.Structural.Degrees), g.NumNodes())
+	}
+}
+
+func TestFitTCLLearnsRho(t *testing.T) {
+	g := testInputGraph(2)
+	m := Fit(g, structural.TCL{})
+	if m.ModelName != "TCL" {
+		t.Fatalf("ModelName = %q", m.ModelName)
+	}
+	if m.Structural.Rho < 0 || m.Structural.Rho > 1 {
+		t.Fatalf("fitted rho = %v outside [0,1]", m.Structural.Rho)
+	}
+	if m.Structural.Rho == 0 {
+		t.Fatal("fitted rho should be positive on a clustered graph")
+	}
+}
+
+func TestFitDefaultsToTriCycLe(t *testing.T) {
+	g := testInputGraph(3)
+	if m := Fit(g, nil); m.ModelName != "TriCycLe" {
+		t.Fatalf("nil model fitted as %q", m.ModelName)
+	}
+}
+
+func TestFitDPValidatesConfig(t *testing.T) {
+	g := testInputGraph(4)
+	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 0}); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, Model: structural.TCL{}}); !errors.Is(err, ErrUnsupportedModel) {
+		t.Fatalf("TCL should be rejected as unsupported, got %v", err)
+	}
+	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, BudgetSplit: []float64{0.5, 0.5}}); err == nil {
+		t.Fatal("wrong budget split length accepted for TriCycLe")
+	}
+	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, Model: structural.FCL{}, BudgetSplit: []float64{0.5, 0.5, 0.5, 0.5}}); err == nil {
+		t.Fatal("wrong budget split length accepted for FCL")
+	}
+	// A split that exceeds the total budget must be rejected by the
+	// accountant.
+	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, BudgetSplit: []float64{0.5, 0.5, 0.5, 0.5}}); err == nil {
+		t.Fatal("over-budget split accepted")
+	}
+}
+
+func TestFitDPProducesValidModel(t *testing.T) {
+	g := testInputGraph(5)
+	for _, model := range []structural.Model{structural.TriCycLe{}, structural.FCL{}} {
+		m, err := FitDP(dp.NewRand(2), g, Config{Epsilon: 1, Model: model})
+		if err != nil {
+			t.Fatalf("FitDP(%s): %v", model.Name(), err)
+		}
+		if !m.Private() || m.Epsilon != 1 {
+			t.Fatalf("%s: Epsilon = %v, want 1", model.Name(), m.Epsilon)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", model.Name(), err)
+		}
+		if m.ModelName != model.Name() {
+			t.Fatalf("ModelName = %q, want %q", m.ModelName, model.Name())
+		}
+		sumX := 0.0
+		for _, v := range m.ThetaX {
+			sumX += v
+		}
+		if math.Abs(sumX-1) > 1e-9 {
+			t.Fatalf("%s: ThetaX sums to %v", model.Name(), sumX)
+		}
+		if model.Name() == "FCL" && m.Structural.Triangles != 0 {
+			t.Fatal("FCL fitting should not spend budget on triangles")
+		}
+	}
+}
+
+func TestFitDPAccuracyImprovesWithEpsilon(t *testing.T) {
+	g := testInputGraph(6)
+	trueTheta := attrs.TrueThetaF(g)
+	avgErr := func(eps float64) float64 {
+		var total float64
+		const trials = 8
+		for i := 0; i < trials; i++ {
+			m, err := FitDP(dp.NewRand(int64(i)+100), g, Config{Epsilon: eps})
+			if err != nil {
+				t.Fatalf("FitDP: %v", err)
+			}
+			total += stats.HellingerDistance(trueTheta, m.ThetaF)
+		}
+		return total / trials
+	}
+	if tight, loose := avgErr(5.0), avgErr(0.1); tight >= loose {
+		t.Fatalf("Hellinger at eps=5 (%v) not below eps=0.1 (%v)", tight, loose)
+	}
+}
+
+func TestValidateRejectsBrokenModels(t *testing.T) {
+	g := testInputGraph(7)
+	m := Fit(g, structural.FCL{})
+	cases := []struct {
+		name   string
+		mutate func(*FittedModel)
+	}{
+		{"negative nodes", func(f *FittedModel) { f.N = -1 }},
+		{"bad width", func(f *FittedModel) { f.W = -2 }},
+		{"thetaX length", func(f *FittedModel) { f.ThetaX = f.ThetaX[:1] }},
+		{"thetaF length", func(f *FittedModel) { f.ThetaF = append(f.ThetaF, 0) }},
+		{"degree length", func(f *FittedModel) { f.Structural.Degrees = f.Structural.Degrees[:3] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			broken := *m
+			broken.ThetaX = append([]float64(nil), m.ThetaX...)
+			broken.ThetaF = append([]float64(nil), m.ThetaF...)
+			broken.Structural.Degrees = append([]int(nil), m.Structural.Degrees...)
+			tc.mutate(&broken)
+			if err := broken.Validate(); err == nil {
+				t.Fatal("broken model validated")
+			}
+		})
+	}
+}
+
+func TestAcceptanceRatio(t *testing.T) {
+	if got := acceptanceRatio(0.2, 0.1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ratio = %v, want 2", got)
+	}
+	if got := acceptanceRatio(0, 0); got != 1 {
+		t.Fatalf("ratio for double zero = %v, want 1", got)
+	}
+	// Unobserved but wanted configurations get the maximum (capped) ratio.
+	if got := acceptanceRatio(0.3, 0); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("unobserved target configuration ratio = %v, want the 50 cap", got)
+	}
+	// The cap also bounds ratios for nearly-unobserved configurations.
+	if got := acceptanceRatio(0.5, 1e-9); got > 50+1e-9 {
+		t.Fatalf("ratio %v exceeds the cap", got)
+	}
+	if got := acceptanceRatio(0, 0.4); got != 0 {
+		t.Fatalf("zero-target configuration should be suppressed, got %v", got)
+	}
+}
+
+func TestSampleProducesAttributedGraph(t *testing.T) {
+	g := testInputGraph(8)
+	m := Fit(g, structural.FCL{})
+	synth, err := Sample(dp.NewRand(3), m, SampleOptions{})
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if synth.NumNodes() != g.NumNodes() || synth.NumAttributes() != g.NumAttributes() {
+		t.Fatalf("synthetic graph shape (%d, %d) != input (%d, %d)",
+			synth.NumNodes(), synth.NumAttributes(), g.NumNodes(), g.NumAttributes())
+	}
+	if synth.NumEdges() == 0 {
+		t.Fatal("synthetic graph has no edges")
+	}
+	// Edge count should track the degree sequence's implied edge count.
+	if stats.RelativeError(float64(g.NumEdges()), float64(synth.NumEdges())) > 0.1 {
+		t.Fatalf("synthetic edges = %d, input = %d", synth.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestSampleRejectsInvalidModel(t *testing.T) {
+	g := testInputGraph(9)
+	m := Fit(g, structural.FCL{})
+	m.ThetaX = m.ThetaX[:1]
+	if _, err := Sample(dp.NewRand(1), m, SampleOptions{}); err == nil {
+		t.Fatal("Sample accepted an invalid model")
+	}
+}
+
+func TestSampleReproducesAttributeDistribution(t *testing.T) {
+	g := testInputGraph(10)
+	m := Fit(g, structural.FCL{})
+	synth, err := Sample(dp.NewRand(4), m, SampleOptions{})
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	h := stats.HellingerDistance(attrs.TrueThetaX(g), attrs.TrueThetaX(synth))
+	if h > 0.06 {
+		t.Fatalf("attribute distribution Hellinger distance %v too large", h)
+	}
+}
+
+func TestSampleReproducesCorrelationsBetterThanUniform(t *testing.T) {
+	g := testInputGraph(11)
+	m := Fit(g, structural.FCL{})
+	truth := attrs.TrueThetaF(g)
+	var hSynth, hUniform float64
+	const trials = 3
+	for i := 0; i < trials; i++ {
+		synth, err := Sample(dp.NewRand(int64(i)+20), m, SampleOptions{})
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		hSynth += stats.HellingerDistance(truth, attrs.TrueThetaF(synth))
+		hUniform += stats.HellingerDistance(truth, attrs.UniformThetaF(g.NumAttributes()))
+	}
+	if hSynth >= hUniform {
+		t.Fatalf("synthetic correlations (H=%v) no better than the uniform baseline (H=%v)", hSynth/trials, hUniform/trials)
+	}
+}
+
+func TestSampleModelOverride(t *testing.T) {
+	g := testInputGraph(12)
+	m := Fit(g, structural.TriCycLe{})
+	synth, err := Sample(dp.NewRand(5), m, SampleOptions{Model: structural.FCL{}, Iterations: 1})
+	if err != nil {
+		t.Fatalf("Sample with override: %v", err)
+	}
+	if synth.NumEdges() == 0 {
+		t.Fatal("override model produced no edges")
+	}
+}
+
+func TestSynthesizeEndToEndPrivate(t *testing.T) {
+	g := testInputGraph(13)
+	synth, fitted, err := Synthesize(dp.NewRand(6), g, Config{Epsilon: math.Log(3)}, SampleOptions{Iterations: 2})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !fitted.Private() {
+		t.Fatal("fitted model should be private")
+	}
+	if synth.NumNodes() != g.NumNodes() {
+		t.Fatalf("node count changed: %d vs %d", synth.NumNodes(), g.NumNodes())
+	}
+	// Degree structure must beat the trivial baseline from the paper
+	// (KS ≈ 0.5, Hellinger ≈ 0.64 for uniformly random edge assignment).
+	ks := stats.DegreeKS(g.DegreeSequence(), synth.DegreeSequence())
+	if ks > 0.4 {
+		t.Fatalf("degree KS = %v, want well below the 0.5 random baseline", ks)
+	}
+	hf := stats.HellingerDistance(attrs.TrueThetaF(g), attrs.TrueThetaF(synth))
+	if hf > 0.37 {
+		t.Fatalf("correlation Hellinger = %v, want below the 0.37 uniform baseline", hf)
+	}
+}
+
+func TestSynthesizeNonPrivateTriCycLePreservesClustering(t *testing.T) {
+	g := testInputGraph(14)
+	synthTri, _, err := SynthesizeNonPrivate(dp.NewRand(7), g, structural.TriCycLe{}, SampleOptions{Iterations: 2})
+	if err != nil {
+		t.Fatalf("SynthesizeNonPrivate TriCycLe: %v", err)
+	}
+	synthFCL, _, err := SynthesizeNonPrivate(dp.NewRand(7), g, structural.FCL{}, SampleOptions{Iterations: 2})
+	if err != nil {
+		t.Fatalf("SynthesizeNonPrivate FCL: %v", err)
+	}
+	triErr := stats.RelativeError(float64(g.Triangles()), float64(synthTri.Triangles()))
+	fclErr := stats.RelativeError(float64(g.Triangles()), float64(synthFCL.Triangles()))
+	if triErr >= fclErr {
+		t.Fatalf("TriCycLe triangle error %v not below FCL %v", triErr, fclErr)
+	}
+}
+
+func TestSynthesizePropagatesFitErrors(t *testing.T) {
+	g := testInputGraph(15)
+	if _, _, err := Synthesize(dp.NewRand(1), g, Config{Epsilon: -1}, SampleOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ExponentialMechanism selects an index into scores under ε-differential
+// privacy, where scores[i] is the utility of candidate i and sensitivity is
+// the global sensitivity of the utility function. Candidate i is chosen with
+// probability proportional to exp(ε·score_i / (2·sensitivity)).
+//
+// The computation is performed in log space (log-sum-exp) so that large score
+// ranges do not overflow. It panics on an empty candidate set or non-positive
+// epsilon/sensitivity.
+func ExponentialMechanism(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) int {
+	if len(scores) == 0 {
+		panic("dp: ExponentialMechanism with no candidates")
+	}
+	if epsilon <= 0 || sensitivity <= 0 {
+		panic(fmt.Sprintf("dp: invalid exponential-mechanism parameters sensitivity=%v epsilon=%v", sensitivity, epsilon))
+	}
+	logits := make([]float64, len(scores))
+	maxLogit := math.Inf(-1)
+	for i, s := range scores {
+		logits[i] = epsilon * s / (2 * sensitivity)
+		if logits[i] > maxLogit {
+			maxLogit = logits[i]
+		}
+	}
+	// Log-sum-exp normalisation.
+	var total float64
+	weights := make([]float64, len(scores))
+	for i, l := range logits {
+		weights[i] = math.Exp(l - maxLogit)
+		total += weights[i]
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// ExponentialMechanismGumbel selects an index using the Gumbel-max trick,
+// which is an exact, numerically robust sampler for the exponential mechanism
+// (argmax of logit_i + Gumbel noise). It is provided for very large candidate
+// sets where building the cumulative distribution would lose precision.
+func ExponentialMechanismGumbel(rng *rand.Rand, scores []float64, sensitivity, epsilon float64) int {
+	if len(scores) == 0 {
+		panic("dp: ExponentialMechanismGumbel with no candidates")
+	}
+	if epsilon <= 0 || sensitivity <= 0 {
+		panic(fmt.Sprintf("dp: invalid exponential-mechanism parameters sensitivity=%v epsilon=%v", sensitivity, epsilon))
+	}
+	best := -1
+	bestVal := math.Inf(-1)
+	for i, s := range scores {
+		logit := epsilon * s / (2 * sensitivity)
+		// Standard Gumbel noise: -log(-log(U)).
+		g := -math.Log(-math.Log(uniformOpen(rng)))
+		if v := logit + g; v > bestVal {
+			bestVal = v
+			best = i
+		}
+	}
+	return best
+}
+
+// uniformOpen returns a uniform sample on the open interval (0, 1), avoiding
+// exact zeros that would make log() blow up.
+func uniformOpen(rng *rand.Rand) float64 {
+	for {
+		u := rng.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExponentialMechanismPrefersHighScores(t *testing.T) {
+	rng := NewRand(10)
+	scores := []float64{0, 0, 10, 0}
+	counts := make([]int, len(scores))
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[ExponentialMechanism(rng, scores, 1, 2)]++
+	}
+	if counts[2] < trials*9/10 {
+		t.Fatalf("high-score candidate chosen only %d/%d times", counts[2], trials)
+	}
+}
+
+func TestExponentialMechanismUniformWhenScoresEqual(t *testing.T) {
+	rng := NewRand(11)
+	scores := []float64{3, 3, 3}
+	counts := make([]int, 3)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		counts[ExponentialMechanism(rng, scores, 1, 1)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-1.0/3.0) > 0.02 {
+			t.Fatalf("candidate %d selected with frequency %v, want ≈ 1/3", i, frac)
+		}
+	}
+}
+
+func TestExponentialMechanismRatioMatchesTheory(t *testing.T) {
+	// With two candidates whose scores differ by Δu, selection odds are
+	// exp(ε·Δu/(2·sensitivity)) : 1.
+	rng := NewRand(12)
+	scores := []float64{1, 0}
+	eps, sens := 1.0, 1.0
+	const trials = 200000
+	count0 := 0
+	for i := 0; i < trials; i++ {
+		if ExponentialMechanism(rng, scores, sens, eps) == 0 {
+			count0++
+		}
+	}
+	odds := math.Exp(eps * 1 / (2 * sens))
+	wantFrac := odds / (1 + odds)
+	gotFrac := float64(count0) / trials
+	if math.Abs(gotFrac-wantFrac) > 0.01 {
+		t.Fatalf("selection frequency = %v, want ≈ %v", gotFrac, wantFrac)
+	}
+}
+
+func TestExponentialMechanismHandlesExtremeScores(t *testing.T) {
+	rng := NewRand(13)
+	// Scores large enough to overflow a naive exp(); log-sum-exp must cope.
+	scores := []float64{1e6, 1e6 - 1, 0}
+	for i := 0; i < 100; i++ {
+		idx := ExponentialMechanism(rng, scores, 1, 1)
+		if idx < 0 || idx >= len(scores) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		if idx == 2 {
+			t.Fatal("mechanism selected a candidate with astronomically lower score")
+		}
+	}
+}
+
+func TestExponentialMechanismPanics(t *testing.T) {
+	rng := NewRand(1)
+	mustPanic(t, func() { ExponentialMechanism(rng, nil, 1, 1) }, "empty candidates")
+	mustPanic(t, func() { ExponentialMechanism(rng, []float64{1}, 0, 1) }, "zero sensitivity")
+	mustPanic(t, func() { ExponentialMechanism(rng, []float64{1}, 1, 0) }, "zero epsilon")
+}
+
+func TestExponentialMechanismGumbelAgreesWithCDFVersion(t *testing.T) {
+	scores := []float64{0, 1, 2, 3}
+	eps, sens := 1.5, 1.0
+	const trials = 60000
+	countsA := make([]float64, len(scores))
+	countsB := make([]float64, len(scores))
+	rngA, rngB := NewRand(20), NewRand(21)
+	for i := 0; i < trials; i++ {
+		countsA[ExponentialMechanism(rngA, scores, sens, eps)]++
+		countsB[ExponentialMechanismGumbel(rngB, scores, sens, eps)]++
+	}
+	for i := range scores {
+		fa, fb := countsA[i]/trials, countsB[i]/trials
+		if math.Abs(fa-fb) > 0.02 {
+			t.Fatalf("samplers disagree on candidate %d: %v vs %v", i, fa, fb)
+		}
+	}
+}
+
+func TestExponentialMechanismGumbelPanics(t *testing.T) {
+	rng := NewRand(1)
+	mustPanic(t, func() { ExponentialMechanismGumbel(rng, nil, 1, 1) }, "empty candidates")
+	mustPanic(t, func() { ExponentialMechanismGumbel(rng, []float64{1}, -1, 1) }, "negative sensitivity")
+	mustPanic(t, func() { ExponentialMechanismGumbel(rng, []float64{1}, 1, -1) }, "negative epsilon")
+}

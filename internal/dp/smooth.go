@@ -1,0 +1,82 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SmoothBeta returns the smoothing parameter β = ε / (2·ln(1/δ)) used when
+// adding Laplace noise calibrated to a β-smooth upper bound on local
+// sensitivity (Nissim, Raskhodnikova, Smith; STOC 2007). The resulting
+// mechanism satisfies (ε, δ)-differential privacy. It panics if epsilon or
+// delta is outside (0, 1] ∪ (0, ∞) as appropriate.
+func SmoothBeta(epsilon, delta float64) float64 {
+	if epsilon <= 0 {
+		panic(fmt.Sprintf("dp: non-positive epsilon %v", epsilon))
+	}
+	if delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("dp: delta %v outside (0, 1)", delta))
+	}
+	return epsilon / (2 * math.Log(1/delta))
+}
+
+// SmoothLaplaceMechanism releases value under (ε, δ)-differential privacy by
+// adding Laplace noise with scale 2·S/ε, where S is a β-smooth upper bound on
+// the local sensitivity at the true input and β = SmoothBeta(ε, δ). The
+// caller is responsible for supplying a valid smooth bound; this function only
+// performs the calibrated perturbation.
+func SmoothLaplaceMechanism(rng *rand.Rand, value, smoothSensitivity, epsilon float64) float64 {
+	if epsilon <= 0 {
+		panic(fmt.Sprintf("dp: non-positive epsilon %v", epsilon))
+	}
+	if smoothSensitivity <= 0 {
+		panic(fmt.Sprintf("dp: non-positive smooth sensitivity %v", smoothSensitivity))
+	}
+	return value + Laplace(rng, 2*smoothSensitivity/epsilon)
+}
+
+// SmoothBoundLinear computes the generic smooth upper bound
+//
+//	S*(D) = max_{t ≥ 0} e^{−βt} · min(localSensitivity + growth·t, cap)
+//
+// for functions whose local sensitivity grows by at most `growth` per unit of
+// distance from the input and is globally capped at `cap`. This is exactly the
+// form of Proposition 4 in the paper (for Q_F: localSensitivity = 2·dmax,
+// growth = 2, cap = 2n−2). The maximisation has a closed form: the expression
+// increases while the linear term dominates and decays afterwards, so it
+// suffices to examine t = 0, the unconstrained stationary point and the point
+// where the cap is reached.
+func SmoothBoundLinear(localSensitivity, growth, cap, beta float64) float64 {
+	if beta <= 0 {
+		panic(fmt.Sprintf("dp: non-positive beta %v", beta))
+	}
+	if localSensitivity < 0 || growth < 0 || cap < localSensitivity {
+		panic("dp: SmoothBoundLinear requires 0 ≤ localSensitivity ≤ cap and growth ≥ 0")
+	}
+	value := func(t float64) float64 {
+		s := localSensitivity + growth*t
+		if s > cap {
+			s = cap
+		}
+		return math.Exp(-beta*t) * s
+	}
+	best := value(0)
+	if growth > 0 {
+		// Stationary point of e^{−βt}(L + g·t): t* = 1/β − L/g.
+		tStar := 1/beta - localSensitivity/growth
+		if tStar > 0 {
+			if v := value(tStar); v > best {
+				best = v
+			}
+		}
+		// Point at which the cap binds.
+		tCap := (cap - localSensitivity) / growth
+		if tCap > 0 {
+			if v := value(tCap); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmoothBeta(t *testing.T) {
+	got := SmoothBeta(1.0, 0.01)
+	want := 1.0 / (2 * math.Log(100))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SmoothBeta(1, 0.01) = %v, want %v", got, want)
+	}
+	mustPanic(t, func() { SmoothBeta(0, 0.01) }, "zero epsilon")
+	mustPanic(t, func() { SmoothBeta(1, 0) }, "zero delta")
+	mustPanic(t, func() { SmoothBeta(1, 1) }, "delta = 1")
+}
+
+func TestSmoothLaplaceMechanismCentersOnValue(t *testing.T) {
+	rng := NewRand(30)
+	const trials = 50000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += SmoothLaplaceMechanism(rng, 7, 0.5, 1)
+	}
+	mean := sum / trials
+	if math.Abs(mean-7) > 0.05 {
+		t.Fatalf("mean = %v, want ≈ 7", mean)
+	}
+	mustPanic(t, func() { SmoothLaplaceMechanism(rng, 0, 0, 1) }, "zero smooth sensitivity")
+	mustPanic(t, func() { SmoothLaplaceMechanism(rng, 0, 1, 0) }, "zero epsilon")
+}
+
+func TestSmoothBoundLinearMatchesCorollary5(t *testing.T) {
+	// Corollary 5 of the paper: for Q_F with maximum degree dmax the smooth
+	// bound is 2·dmax in the "local" regime and 2·e^(β·dmax − 1)/β otherwise.
+	// Maximising Proposition 4 directly shows the stationary point is
+	// t* = 1/β − dmax, so the local regime applies exactly when 1/β ≤ dmax
+	// (the paper's statement of the threshold as 2·dmax appears to be a typo;
+	// its "otherwise" expression is the value at t*, which only exists when
+	// t* > 0, i.e. 1/β > dmax).
+	cases := []struct {
+		dmax float64
+		beta float64
+	}{
+		{dmax: 100, beta: 0.05},  // 1/β = 20 ≤ 100  → 2·dmax regime
+		{dmax: 100, beta: 0.001}, // 1/β = 1000 > 100 → exponential regime
+		{dmax: 30, beta: 0.02},   // 1/β = 50 > 30 → exponential regime
+		{dmax: 5, beta: 0.01},    // 1/β = 100 > 5 → exponential regime
+	}
+	n := 1e6 // cap far away so it does not bind
+	for _, c := range cases {
+		local := 2 * c.dmax
+		got := SmoothBoundLinear(local, 2, 2*n-2, c.beta)
+		var want float64
+		if 1/c.beta <= c.dmax {
+			want = 2 * c.dmax
+		} else {
+			want = 2 * math.Exp(c.beta*c.dmax-1) / c.beta
+		}
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("SmoothBoundLinear(dmax=%v, beta=%v) = %v, want %v", c.dmax, c.beta, got, want)
+		}
+	}
+}
+
+func TestSmoothBoundLinearCapBinds(t *testing.T) {
+	// With a small cap the bound can never exceed the cap.
+	got := SmoothBoundLinear(2, 2, 10, 1e-6)
+	if got > 10+1e-9 {
+		t.Fatalf("SmoothBoundLinear exceeded cap: %v", got)
+	}
+	if got < 2 {
+		t.Fatalf("SmoothBoundLinear below local sensitivity: %v", got)
+	}
+}
+
+func TestSmoothBoundLinearPanics(t *testing.T) {
+	mustPanic(t, func() { SmoothBoundLinear(1, 1, 10, 0) }, "zero beta")
+	mustPanic(t, func() { SmoothBoundLinear(-1, 1, 10, 1) }, "negative local sensitivity")
+	mustPanic(t, func() { SmoothBoundLinear(5, 1, 2, 1) }, "cap below local sensitivity")
+}
+
+// Property: the smooth bound is always at least the local sensitivity (the
+// t = 0 term) and never exceeds the cap.
+func TestSmoothBoundLinearRangeProperty(t *testing.T) {
+	f := func(localRaw, betaRaw uint8) bool {
+		local := float64(localRaw%50) + 1
+		beta := (float64(betaRaw%100) + 1) / 1000
+		cap := local + 500
+		s := SmoothBoundLinear(local, 2, cap, beta)
+		return s >= local-1e-9 && s <= cap+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+// ConnectedComponents returns the node sets of the connected components of the
+// graph. Components are returned in descending order of size; singleton nodes
+// form their own components.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := len(g.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var components [][]int
+	queue := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := len(components)
+		comp[start] = id
+		queue = queue[:0]
+		queue = append(queue, start)
+		members := []int{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := range g.adj[u] {
+				if comp[v] < 0 {
+					comp[v] = id
+					members = append(members, v)
+					queue = append(queue, v)
+				}
+			}
+		}
+		components = append(components, members)
+	}
+	// Sort components by descending size with a simple insertion-style pass to
+	// keep the common case (one giant component plus tiny ones) cheap.
+	for i := 1; i < len(components); i++ {
+		j := i
+		for j > 0 && len(components[j]) > len(components[j-1]) {
+			components[j], components[j-1] = components[j-1], components[j]
+			j--
+		}
+	}
+	return components
+}
+
+// LargestComponent returns the node IDs of the largest connected component.
+// For an empty graph it returns an empty slice.
+func (g *Graph) LargestComponent() []int {
+	comps := g.ConnectedComponents()
+	if len(comps) == 0 {
+		return nil
+	}
+	return comps[0]
+}
+
+// IsConnected reports whether the graph consists of a single connected
+// component (the empty graph and the single-node graph are connected).
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	return len(g.LargestComponent()) == len(g.adj)
+}
+
+// OrphanedNodes returns all nodes that are not part of the largest connected
+// component. This is the notion of "orphaned" used by the TriCycLe
+// post-processing step (Algorithm 2 of the paper): the input graph is assumed
+// connected, so any node outside the main component of a synthetic graph is an
+// orphan, including isolated nodes and nodes in small satellite components.
+func (g *Graph) OrphanedNodes() []int {
+	if len(g.adj) == 0 {
+		return nil
+	}
+	main := g.LargestComponent()
+	inMain := make([]bool, len(g.adj))
+	for _, v := range main {
+		inMain[v] = true
+	}
+	var orphans []int
+	for i := range g.adj {
+		if !inMain[i] {
+			orphans = append(orphans, i)
+		}
+	}
+	return orphans
+}
+
+// InducedSubgraph returns the subgraph induced by the given node set, together
+// with a mapping from new node IDs (0..len(nodes)-1) to the original node IDs.
+// Attribute vectors are carried over. Duplicate node IDs in the input are
+// collapsed.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
+	seen := make(map[int]int, len(nodes))
+	orig := make([]int, 0, len(nodes))
+	for _, v := range nodes {
+		g.validNode(v)
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = len(orig)
+		orig = append(orig, v)
+	}
+	sub := New(len(orig), g.w)
+	for newID, v := range orig {
+		sub.SetAttr(newID, g.attrs[v])
+		for u := range g.adj[v] {
+			if newU, ok := seen[u]; ok && newID < newU {
+				sub.AddEdge(newID, newU)
+			}
+		}
+	}
+	return sub, orig
+}
+
+// RelabelToLargestComponent returns a new graph containing only the largest
+// connected component, with node IDs compacted to 0..k-1, plus the mapping
+// back to original IDs. This mirrors the paper's preprocessing, which keeps
+// only the main connected component of each dataset.
+func (g *Graph) RelabelToLargestComponent() (*Graph, []int) {
+	return g.InducedSubgraph(g.LargestComponent())
+}

@@ -1,0 +1,312 @@
+// Package graph provides the attributed simple-graph substrate used throughout
+// the AGM-DP library.
+//
+// A Graph is an undirected, unweighted simple graph (no self loops, no
+// multi-edges) whose nodes carry a fixed-width vector of binary attributes, as
+// in Section 2.1 of Jorgensen, Yu and Cormode (SIGMOD 2016). Nodes are
+// identified by dense integer IDs in [0, NumNodes). Attribute vectors are
+// stored as bitmasks of up to MaxAttributes bits, which matches the paper's
+// setting of w binary attributes (non-binary attributes are handled upstream
+// by binarisation, exactly as the paper prescribes in Section 7).
+//
+// The package also provides the structural measurements the paper relies on:
+// degree sequences, triangle and wedge counts, local and global clustering
+// coefficients, connected components, induced subgraphs and the edge
+// truncation operator µ(G, k) of Definition 2.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxAttributes is the largest attribute-vector width supported by Graph.
+// Attribute vectors are stored as uint64 bitmasks, so 64 binary attributes
+// can be represented. The paper's experiments use w = 2.
+const MaxAttributes = 64
+
+// AttrVector is a node attribute vector encoded as a bitmask: bit j holds the
+// value of the j-th binary attribute. With w attributes only the low w bits
+// are meaningful.
+type AttrVector uint64
+
+// Bit reports the value (0 or 1) of attribute j.
+func (a AttrVector) Bit(j int) uint8 {
+	return uint8((a >> uint(j)) & 1)
+}
+
+// WithBit returns a copy of the vector with attribute j set to v (0 or 1).
+func (a AttrVector) WithBit(j int, v uint8) AttrVector {
+	if v == 0 {
+		return a &^ (1 << uint(j))
+	}
+	return a | (1 << uint(j))
+}
+
+// Edge is an undirected edge between nodes U and V. The canonical form has
+// U < V; use Canonical to normalise.
+type Edge struct {
+	U, V int
+}
+
+// Canonical returns the edge with its endpoints ordered so that U < V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Graph is an attributed, undirected simple graph.
+//
+// The zero value is not usable; construct graphs with New or the loaders in
+// this package. Graph is not safe for concurrent mutation; concurrent readers
+// are safe once construction is complete.
+type Graph struct {
+	w     int
+	m     int
+	adj   []map[int]struct{}
+	attrs []AttrVector
+}
+
+// New returns an empty graph with n nodes, no edges, and w binary attributes
+// per node (all initialised to zero). It panics if n < 0 or w is outside
+// [0, MaxAttributes].
+func New(n, w int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	if w < 0 || w > MaxAttributes {
+		panic(fmt.Sprintf("graph: attribute width %d outside [0, %d]", w, MaxAttributes))
+	}
+	g := &Graph{
+		w:     w,
+		adj:   make([]map[int]struct{}, n),
+		attrs: make([]AttrVector, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// NumNodes returns the number of nodes n.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges m.
+func (g *Graph) NumEdges() int { return g.m }
+
+// NumAttributes returns the attribute-vector width w.
+func (g *Graph) NumAttributes() int { return g.w }
+
+// validNode panics if i is not a valid node ID.
+func (g *Graph) validNode(i int) {
+	if i < 0 || i >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0, %d)", i, len(g.adj)))
+	}
+}
+
+// AddEdge inserts the undirected edge {i, j}. It returns true if the edge was
+// added and false if it already existed or i == j (self loops are ignored,
+// keeping the graph simple).
+func (g *Graph) AddEdge(i, j int) bool {
+	g.validNode(i)
+	g.validNode(j)
+	if i == j {
+		return false
+	}
+	if _, ok := g.adj[i][j]; ok {
+		return false
+	}
+	g.adj[i][j] = struct{}{}
+	g.adj[j][i] = struct{}{}
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {i, j} if present and reports whether
+// an edge was removed.
+func (g *Graph) RemoveEdge(i, j int) bool {
+	g.validNode(i)
+	g.validNode(j)
+	if _, ok := g.adj[i][j]; !ok {
+		return false
+	}
+	delete(g.adj[i], j)
+	delete(g.adj[j], i)
+	g.m--
+	return true
+}
+
+// HasEdge reports whether the undirected edge {i, j} exists.
+func (g *Graph) HasEdge(i, j int) bool {
+	g.validNode(i)
+	g.validNode(j)
+	_, ok := g.adj[i][j]
+	return ok
+}
+
+// Degree returns the degree d_i of node i.
+func (g *Graph) Degree(i int) int {
+	g.validNode(i)
+	return len(g.adj[i])
+}
+
+// Neighbors returns the neighbour set Γ(i) as a freshly allocated, sorted
+// slice. Mutating the result does not affect the graph.
+func (g *Graph) Neighbors(i int) []int {
+	g.validNode(i)
+	out := make([]int, 0, len(g.adj[i]))
+	for v := range g.adj[i] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ForEachNeighbor calls fn for every neighbour of node i in unspecified order.
+// Iteration stops early if fn returns false.
+func (g *Graph) ForEachNeighbor(i int, fn func(j int) bool) {
+	g.validNode(i)
+	for v := range g.adj[i] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Attr returns the attribute vector of node i.
+func (g *Graph) Attr(i int) AttrVector {
+	g.validNode(i)
+	return g.attrs[i]
+}
+
+// SetAttr assigns the attribute vector of node i. Bits above the graph's
+// attribute width are cleared.
+func (g *Graph) SetAttr(i int, a AttrVector) {
+	g.validNode(i)
+	if g.w < MaxAttributes {
+		a &= (1 << uint(g.w)) - 1
+	}
+	g.attrs[i] = a
+}
+
+// Attrs returns a copy of all node attribute vectors indexed by node ID.
+func (g *Graph) Attrs() []AttrVector {
+	out := make([]AttrVector, len(g.attrs))
+	copy(out, g.attrs)
+	return out
+}
+
+// Edges returns every undirected edge exactly once, in the canonical ordering
+// used by the truncation operator: sorted by (min endpoint, max endpoint).
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u < v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+	return edges
+}
+
+// ForEachEdge calls fn once per undirected edge in unspecified order.
+// Iteration stops early if fn returns false.
+func (g *Graph) ForEachEdge(fn func(u, v int) bool) {
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u < v {
+				if !fn(u, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		w:     g.w,
+		m:     g.m,
+		adj:   make([]map[int]struct{}, len(g.adj)),
+		attrs: make([]AttrVector, len(g.attrs)),
+	}
+	copy(c.attrs, g.attrs)
+	for i, nb := range g.adj {
+		c.adj[i] = make(map[int]struct{}, len(nb))
+		for v := range nb {
+			c.adj[i][v] = struct{}{}
+		}
+	}
+	return c
+}
+
+// CloneStructure returns a copy of the graph with the same nodes and edges but
+// with all attribute vectors reset to zero.
+func (g *Graph) CloneStructure() *Graph {
+	c := g.Clone()
+	for i := range c.attrs {
+		c.attrs[i] = 0
+	}
+	return c
+}
+
+// FromEdges builds a graph with n nodes and w attributes from an edge list.
+// Duplicate edges and self loops are silently dropped.
+func FromEdges(n, w int, edges []Edge) *Graph {
+	g := New(n, w)
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// CommonNeighbors returns |Γ(i) ∩ Γ(j)|, the number of common neighbours of i
+// and j. The smaller adjacency set is scanned, so the cost is
+// O(min(d_i, d_j)).
+func (g *Graph) CommonNeighbors(i, j int) int {
+	g.validNode(i)
+	g.validNode(j)
+	a, b := g.adj[i], g.adj[j]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	cn := 0
+	for v := range a {
+		if _, ok := b[v]; ok {
+			cn++
+		}
+	}
+	return cn
+}
+
+// Equal reports whether g and h have identical node counts, attribute widths,
+// edge sets and attribute assignments. It is primarily intended for tests.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || g.w != h.w || g.m != h.m {
+		return false
+	}
+	for i := range g.adj {
+		if g.attrs[i] != h.attrs[i] {
+			return false
+		}
+		if len(g.adj[i]) != len(h.adj[i]) {
+			return false
+		}
+		for v := range g.adj[i] {
+			if _, ok := h.adj[i][v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildTriangleWithTail returns the 5-node graph
+//
+//	0-1, 1-2, 2-0 (a triangle), 2-3, 3-4 (a tail)
+//
+// used by several tests.
+func buildTriangleWithTail() *Graph {
+	g := New(5, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	return g
+}
+
+// randomGraph returns an Erdős–Rényi style random graph used as fuzz input.
+func randomGraph(rng *rand.Rand, n int, p float64, w int) *Graph {
+	g := New(n, w)
+	for i := 0; i < n; i++ {
+		if w > 0 {
+			g.SetAttr(i, AttrVector(rng.Uint64()))
+		}
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := New(10, 3)
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", g.NumNodes())
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if g.NumAttributes() != 3 {
+		t.Fatalf("NumAttributes = %d, want 3", g.NumAttributes())
+	}
+	for i := 0; i < 10; i++ {
+		if g.Degree(i) != 0 {
+			t.Fatalf("Degree(%d) = %d, want 0", i, g.Degree(i))
+		}
+	}
+}
+
+func TestNewPanicsOnBadArguments(t *testing.T) {
+	cases := []struct {
+		name string
+		n, w int
+	}{
+		{"negative nodes", -1, 0},
+		{"negative attrs", 1, -1},
+		{"too many attrs", 1, MaxAttributes + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d, %d) did not panic", tc.n, tc.w)
+				}
+			}()
+			New(tc.n, tc.w)
+		})
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3, 0)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("AddEdge(0,1) = false on first insertion")
+	}
+	if g.AddEdge(0, 1) {
+		t.Fatal("AddEdge(0,1) = true on duplicate insertion")
+	}
+	if g.AddEdge(1, 0) {
+		t.Fatal("AddEdge(1,0) = true on reversed duplicate insertion")
+	}
+	if g.AddEdge(2, 2) {
+		t.Fatal("AddEdge(2,2) = true for a self loop")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("HasEdge(0,2) = true for a missing edge")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := buildTriangleWithTail()
+	before := g.NumEdges()
+	if !g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge(1,2) = false for an existing edge")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge(1,2) = true for an already-removed edge")
+	}
+	if g.NumEdges() != before-1 {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), before-1)
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Fatal("edge still present after removal")
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("degrees after removal = (%d,%d), want (1,2)", g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := buildTriangleWithTail()
+	if got := g.Degree(2); got != 3 {
+		t.Fatalf("Degree(2) = %d, want 3", got)
+	}
+	nb := g.Neighbors(2)
+	want := []int{0, 1, 3}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(2) = %v, want %v", nb, want)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(2) = %v, want %v (sorted)", nb, want)
+		}
+	}
+}
+
+func TestForEachNeighborEarlyStop(t *testing.T) {
+	g := buildTriangleWithTail()
+	visits := 0
+	g.ForEachNeighbor(2, func(int) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("ForEachNeighbor visited %d neighbours after returning false, want 1", visits)
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	g := New(4, 2)
+	g.SetAttr(0, 0)
+	g.SetAttr(1, 1)
+	g.SetAttr(2, 2)
+	g.SetAttr(3, 3)
+	for i := 0; i < 4; i++ {
+		if got := g.Attr(i); got != AttrVector(i) {
+			t.Fatalf("Attr(%d) = %d, want %d", i, got, i)
+		}
+	}
+	// Bits above the declared width must be masked off.
+	g.SetAttr(0, 0b1111)
+	if got := g.Attr(0); got != 0b11 {
+		t.Fatalf("Attr(0) = %b, want masked value 11", got)
+	}
+}
+
+func TestAttrVectorBitHelpers(t *testing.T) {
+	var a AttrVector
+	a = a.WithBit(0, 1).WithBit(3, 1)
+	if a != 0b1001 {
+		t.Fatalf("WithBit composition = %b, want 1001", a)
+	}
+	if a.Bit(0) != 1 || a.Bit(1) != 0 || a.Bit(3) != 1 {
+		t.Fatalf("Bit readback mismatch for %b", a)
+	}
+	a = a.WithBit(3, 0)
+	if a != 0b0001 {
+		t.Fatalf("WithBit clear = %b, want 0001", a)
+	}
+}
+
+func TestEdgesCanonicalOrder(t *testing.T) {
+	g := buildTriangleWithTail()
+	edges := g.Edges()
+	if len(edges) != g.NumEdges() {
+		t.Fatalf("Edges returned %d edges, want %d", len(edges), g.NumEdges())
+	}
+	for i, e := range edges {
+		if e.U >= e.V {
+			t.Fatalf("edge %v not in canonical endpoint order", e)
+		}
+		if i > 0 {
+			prev := edges[i-1]
+			if prev.U > e.U || (prev.U == e.U && prev.V >= e.V) {
+				t.Fatalf("edges out of canonical order: %v before %v", prev, e)
+			}
+		}
+	}
+}
+
+func TestEdgeCanonical(t *testing.T) {
+	e := Edge{U: 5, V: 2}.Canonical()
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("Canonical() = %v, want {2 5}", e)
+	}
+	e = Edge{U: 1, V: 4}.Canonical()
+	if e.U != 1 || e.V != 4 {
+		t.Fatalf("Canonical() = %v, want {1 4}", e)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildTriangleWithTail()
+	g.SetAttr(0, 3)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.AddEdge(0, 4)
+	c.SetAttr(1, 1)
+	if g.HasEdge(0, 4) {
+		t.Fatal("mutating clone added edge to original")
+	}
+	if g.Attr(1) != 0 {
+		t.Fatal("mutating clone changed original attributes")
+	}
+}
+
+func TestCloneStructureClearsAttributes(t *testing.T) {
+	g := buildTriangleWithTail()
+	g.SetAttr(0, 3)
+	g.SetAttr(4, 1)
+	c := g.CloneStructure()
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatalf("CloneStructure edges = %d, want %d", c.NumEdges(), g.NumEdges())
+	}
+	for i := 0; i < c.NumNodes(); i++ {
+		if c.Attr(i) != 0 {
+			t.Fatalf("CloneStructure kept attribute on node %d", i)
+		}
+	}
+}
+
+func TestFromEdgesDropsDuplicatesAndLoops(t *testing.T) {
+	g := FromEdges(4, 1, []Edge{{0, 1}, {1, 0}, {2, 2}, {2, 3}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) || g.HasEdge(2, 2) {
+		t.Fatal("FromEdges produced wrong edge set")
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := buildTriangleWithTail()
+	if got := g.CommonNeighbors(0, 1); got != 1 {
+		t.Fatalf("CommonNeighbors(0,1) = %d, want 1", got)
+	}
+	if got := g.CommonNeighbors(0, 4); got != 0 {
+		t.Fatalf("CommonNeighbors(0,4) = %d, want 0", got)
+	}
+	if got := g.CommonNeighbors(1, 3); got != 1 {
+		t.Fatalf("CommonNeighbors(1,3) = %d, want 1 (node 2)", got)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := buildTriangleWithTail()
+	b := buildTriangleWithTail()
+	if !a.Equal(b) {
+		t.Fatal("identical graphs not Equal")
+	}
+	b.SetAttr(0, 1)
+	if a.Equal(b) {
+		t.Fatal("Equal ignored attribute difference")
+	}
+	b = buildTriangleWithTail()
+	b.RemoveEdge(3, 4)
+	b.AddEdge(0, 4)
+	if a.Equal(b) {
+		t.Fatal("Equal ignored edge difference")
+	}
+}
+
+func TestValidNodePanics(t *testing.T) {
+	g := New(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Degree on out-of-range node did not panic")
+		}
+	}()
+	g.Degree(5)
+}
+
+// Property: the handshake lemma holds for random graphs — the sum of degrees
+// equals twice the edge count.
+func TestHandshakeLemmaProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 30+rng.Intn(40), 0.1, 2)
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adjacency is symmetric for random graphs.
+func TestAdjacencySymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 25, 0.15, 0)
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ForEachEdge visits exactly NumEdges edges and each exactly once.
+func TestForEachEdgeVisitsEachOnceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 30, 0.1, 0)
+		seen := make(map[Edge]bool)
+		g.ForEachEdge(func(u, v int) bool {
+			seen[Edge{u, v}.Canonical()] = true
+			return true
+		})
+		return len(seen) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package graph
+
+import "sort"
+
+// Degrees returns the degree of every node, indexed by node ID.
+func (g *Graph) Degrees() []int {
+	out := make([]int, len(g.adj))
+	for i := range g.adj {
+		out[i] = len(g.adj[i])
+	}
+	return out
+}
+
+// DegreeSequence returns the multiset of node degrees sorted in non-decreasing
+// order, i.e. the unordered degree sequence S used by the paper's structural
+// models.
+func (g *Graph) DegreeSequence() []int {
+	out := g.Degrees()
+	sort.Ints(out)
+	return out
+}
+
+// MaxDegree returns the largest node degree d_max (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for i := range g.adj {
+		if d := len(g.adj[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AverageDegree returns the mean node degree 2m/n (0 for an empty graph).
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// Triangles returns n∆, the number of distinct triangles in the graph. The
+// algorithm intersects adjacency sets along each edge, giving a cost of
+// O(Σ_{(u,v)∈E} min(d_u, d_v)).
+func (g *Graph) Triangles() int64 {
+	var total int64
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u < v {
+				total += int64(g.CommonNeighbors(u, v))
+			}
+		}
+	}
+	// Each triangle is counted once per edge, i.e. three times.
+	return total / 3
+}
+
+// TrianglesAt returns the number of triangles that include node i, i.e. the
+// number of edges among the neighbours of i.
+func (g *Graph) TrianglesAt(i int) int64 {
+	g.validNode(i)
+	var cnt int64
+	for u := range g.adj[i] {
+		for v := range g.adj[i] {
+			if u < v && g.HasEdge(u, v) {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// Wedges returns n_W, the number of length-two paths (wedges) in the graph:
+// Σ_i d_i·(d_i−1)/2.
+func (g *Graph) Wedges() int64 {
+	var total int64
+	for i := range g.adj {
+		d := int64(len(g.adj[i]))
+		total += d * (d - 1) / 2
+	}
+	return total
+}
+
+// LocalClustering returns the local clustering coefficient C_i of node i:
+// the fraction of pairs of neighbours of i that are themselves connected.
+// Nodes of degree < 2 have coefficient 0 by convention.
+func (g *Graph) LocalClustering(i int) float64 {
+	g.validNode(i)
+	d := len(g.adj[i])
+	if d < 2 {
+		return 0
+	}
+	t := g.TrianglesAt(i)
+	return 2 * float64(t) / (float64(d) * float64(d-1))
+}
+
+// LocalClusteringAll returns the local clustering coefficient of every node,
+// indexed by node ID. It shares work across nodes by counting triangles along
+// edges once, so it is much cheaper than calling LocalClustering per node on
+// large graphs.
+func (g *Graph) LocalClusteringAll() []float64 {
+	triPerNode := make([]int64, len(g.adj))
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u >= v {
+				continue
+			}
+			// Every common neighbour w of u and v closes a triangle {u,v,w};
+			// credit it to w. Each triangle is credited to each of its three
+			// corners exactly once (when the opposite edge is processed).
+			a, b := g.adj[u], g.adj[v]
+			if len(a) > len(b) {
+				a, b = b, a
+			}
+			for w := range a {
+				if _, ok := b[w]; ok {
+					triPerNode[w]++
+				}
+			}
+		}
+	}
+	out := make([]float64, len(g.adj))
+	for i := range g.adj {
+		d := len(g.adj[i])
+		if d < 2 {
+			continue
+		}
+		out[i] = 2 * float64(triPerNode[i]) / (float64(d) * float64(d-1))
+	}
+	return out
+}
+
+// AverageLocalClustering returns C̄, the mean of the local clustering
+// coefficients over all nodes.
+func (g *Graph) AverageLocalClustering() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	cc := g.LocalClusteringAll()
+	sum := 0.0
+	for _, c := range cc {
+		sum += c
+	}
+	return sum / float64(len(cc))
+}
+
+// GlobalClustering returns the global clustering coefficient (transitivity)
+// C(G) = 3·n∆ / n_W. It returns 0 when the graph has no wedges.
+func (g *Graph) GlobalClustering() float64 {
+	w := g.Wedges()
+	if w == 0 {
+		return 0
+	}
+	return 3 * float64(g.Triangles()) / float64(w)
+}
+
+// DegreeHistogram returns a map from degree value to the number of nodes with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for i := range g.adj {
+		h[len(g.adj[i])]++
+	}
+	return h
+}
+
+// Summary bundles the headline statistics reported in Table 6 of the paper.
+type Summary struct {
+	Nodes              int
+	Edges              int
+	MaxDegree          int
+	AverageDegree      float64
+	Triangles          int64
+	AvgLocalClustering float64
+	GlobalClustering   float64
+	Attributes         int
+}
+
+// Summarize computes the Table 6 statistics for the graph.
+func (g *Graph) Summarize() Summary {
+	return Summary{
+		Nodes:              g.NumNodes(),
+		Edges:              g.NumEdges(),
+		MaxDegree:          g.MaxDegree(),
+		AverageDegree:      g.AverageDegree(),
+		Triangles:          g.Triangles(),
+		AvgLocalClustering: g.AverageLocalClustering(),
+		GlobalClustering:   g.GlobalClustering(),
+		Attributes:         g.NumAttributes(),
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+// Truncate applies the edge truncation operator µ(G, k) of Definition 2
+// (originally from Blocki et al., restricted sensitivity): edges are visited
+// in the canonical ordering (sorted by (min endpoint, max endpoint)) and an
+// edge is deleted if, at the time it is processed, either endpoint still has
+// degree greater than k. The result is a k-bounded graph: every node has
+// degree at most k.
+//
+// The receiver is not modified; a new graph (sharing no storage with g) is
+// returned. Attribute vectors are preserved. Truncate panics if k < 0.
+func (g *Graph) Truncate(k int) *Graph {
+	if k < 0 {
+		panic("graph: negative truncation parameter")
+	}
+	out := g.Clone()
+	if k == 0 {
+		// Degree bound zero removes every edge.
+		for _, e := range out.Edges() {
+			out.RemoveEdge(e.U, e.V)
+		}
+		return out
+	}
+	for _, e := range g.Edges() { // canonical order from the original graph
+		if out.Degree(e.U) > k || out.Degree(e.V) > k {
+			out.RemoveEdge(e.U, e.V)
+		}
+	}
+	return out
+}
+
+// IsDegreeBounded reports whether every node has degree at most k.
+func (g *Graph) IsDegreeBounded(k int) bool {
+	for i := range g.adj {
+		if len(g.adj[i]) > k {
+			return false
+		}
+	}
+	return true
+}
+
+// TruncationLoss returns the number of edges removed by Truncate(k) without
+// materialising the truncated graph twice. It is a convenience for tuning the
+// truncation parameter in non-private analyses and tests.
+func (g *Graph) TruncationLoss(k int) int {
+	return g.NumEdges() - g.Truncate(k).NumEdges()
+}

@@ -1,0 +1,80 @@
+// Package structural implements the generative structural models used by
+// AGM-DP: the Chung–Lu random graph model and its fast implementation (FCL),
+// the Transitive Chung–Lu model (TCL) of Pfeiffer et al., and the paper's new
+// TriCycLe model (Algorithm 1) together with the orphan-node post-processing
+// step (Algorithm 2). An Erdős–Rényi generator is included as a trivial
+// baseline for tests and examples.
+//
+// All generators are deterministic given a *rand.Rand and accept an optional
+// EdgeFilter, which is how AGM-DP injects its attribute-correlation
+// accept/reject probabilities into edge proposal (Section 4 of the paper).
+package structural
+
+import (
+	"fmt"
+	"math/rand"
+
+	"agmdp/internal/graph"
+)
+
+// EdgeFilter returns the probability, in [0, 1], with which a proposed edge
+// {u, v} should be accepted. A nil EdgeFilter accepts every proposal. AGM-DP
+// supplies a filter of the form A(F_w(x̃_u, x̃_v)) derived from the learned
+// attribute correlations.
+type EdgeFilter func(u, v int) float64
+
+// acceptEdge rolls the filter for a proposed edge.
+func acceptEdge(rng *rand.Rand, filter EdgeFilter, u, v int) bool {
+	if filter == nil {
+		return true
+	}
+	p := filter(u, v)
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return rng.Float64() <= p
+}
+
+// Params bundles the structural-model parameters ΘM that AGM-DP learns from
+// the input graph. Degrees is the (sorted or unsorted) target degree sequence
+// assigned positionally to nodes 0..n−1; Triangles is the target triangle
+// count used by TriCycLe; Rho is the transitive-closure probability used by
+// TCL.
+type Params struct {
+	Degrees   []int
+	Triangles int64
+	Rho       float64
+}
+
+// Validate checks that the parameters are internally consistent for a model
+// over n nodes.
+func (p Params) Validate(n int) error {
+	if len(p.Degrees) != n {
+		return fmt.Errorf("structural: degree sequence has %d entries for %d nodes", len(p.Degrees), n)
+	}
+	for i, d := range p.Degrees {
+		if d < 0 || d > n-1 {
+			return fmt.Errorf("structural: degree %d at position %d outside [0, %d]", d, i, n-1)
+		}
+	}
+	if p.Triangles < 0 {
+		return fmt.Errorf("structural: negative triangle target %d", p.Triangles)
+	}
+	if p.Rho < 0 || p.Rho > 1 {
+		return fmt.Errorf("structural: transitive closure probability %v outside [0, 1]", p.Rho)
+	}
+	return nil
+}
+
+// Model is the interface AGM-DP uses to plug in a structural generator.
+type Model interface {
+	// Name identifies the model in reports ("FCL", "TCL", "TriCycLe", ...).
+	Name() string
+	// Generate produces a synthetic structure over n nodes following the
+	// model's parameters, consulting filter (if non-nil) before accepting any
+	// proposed edge.
+	Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph
+}

@@ -1,0 +1,58 @@
+package structural
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodeSampler draws nodes from the π distribution of the Chung–Lu family of
+// models, in which node i is selected with probability d_i / Σ_j d_j. It uses
+// the Fast Chung–Lu construction of Pinar et al.: a vector containing each
+// node ID repeated d_i times, from which samples are drawn uniformly in O(1).
+type NodeSampler struct {
+	pool []int32
+}
+
+// NewNodeSampler builds a sampler from target degrees indexed by node ID.
+// Nodes with weight zero never appear in the pool. exclude, if non-nil,
+// removes specific nodes from the distribution regardless of their degree
+// (TriCycLe's orphan extension excludes degree-one nodes this way).
+func NewNodeSampler(degrees []int, exclude func(node int) bool) *NodeSampler {
+	total := 0
+	for i, d := range degrees {
+		if d < 0 {
+			panic(fmt.Sprintf("structural: negative degree %d for node %d", d, i))
+		}
+		if exclude != nil && exclude(i) {
+			continue
+		}
+		total += d
+	}
+	pool := make([]int32, 0, total)
+	for i, d := range degrees {
+		if exclude != nil && exclude(i) {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			pool = append(pool, int32(i))
+		}
+	}
+	return &NodeSampler{pool: pool}
+}
+
+// Empty reports whether the sampler has no mass (all degrees zero or all
+// nodes excluded).
+func (s *NodeSampler) Empty() bool { return len(s.pool) == 0 }
+
+// PoolSize returns the length of the underlying pool, i.e. the sum of the
+// included degrees.
+func (s *NodeSampler) PoolSize() int { return len(s.pool) }
+
+// Sample draws one node with probability proportional to its degree. It
+// panics on an empty sampler.
+func (s *NodeSampler) Sample(rng *rand.Rand) int {
+	if len(s.pool) == 0 {
+		panic("structural: sampling from an empty node sampler")
+	}
+	return int(s.pool[rng.Intn(len(s.pool))])
+}

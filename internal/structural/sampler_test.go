@@ -1,0 +1,77 @@
+package structural
+
+import (
+	"math"
+	"testing"
+
+	"agmdp/internal/dp"
+)
+
+func TestNodeSamplerProportionalToDegree(t *testing.T) {
+	degrees := []int{1, 2, 3, 4}
+	s := NewNodeSampler(degrees, nil)
+	if s.PoolSize() != 10 {
+		t.Fatalf("pool size = %d, want 10", s.PoolSize())
+	}
+	rng := dp.NewRand(1)
+	counts := make([]float64, len(degrees))
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i, d := range degrees {
+		want := float64(d) / 10
+		got := counts[i] / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("node %d sampled with frequency %v, want ≈ %v", i, got, want)
+		}
+	}
+}
+
+func TestNodeSamplerExcludesNodes(t *testing.T) {
+	degrees := []int{5, 1, 1, 5}
+	s := NewNodeSampler(degrees, func(i int) bool { return degrees[i] == 1 })
+	if s.PoolSize() != 10 {
+		t.Fatalf("pool size = %d, want 10 (degree-one nodes excluded)", s.PoolSize())
+	}
+	rng := dp.NewRand(2)
+	for i := 0; i < 1000; i++ {
+		v := s.Sample(rng)
+		if v == 1 || v == 2 {
+			t.Fatalf("sampled excluded node %d", v)
+		}
+	}
+}
+
+func TestNodeSamplerZeroDegreeNeverSampled(t *testing.T) {
+	s := NewNodeSampler([]int{0, 3, 0, 2}, nil)
+	rng := dp.NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Sample(rng)
+		if v == 0 || v == 2 {
+			t.Fatalf("sampled zero-degree node %d", v)
+		}
+	}
+}
+
+func TestNodeSamplerEmpty(t *testing.T) {
+	s := NewNodeSampler([]int{0, 0}, nil)
+	if !s.Empty() {
+		t.Fatal("sampler with all-zero degrees should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sampling from empty sampler did not panic")
+		}
+	}()
+	s.Sample(dp.NewRand(1))
+}
+
+func TestNodeSamplerPanicsOnNegativeDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative degree did not panic")
+		}
+	}()
+	NewNodeSampler([]int{1, -1}, nil)
+}

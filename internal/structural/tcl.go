@@ -1,0 +1,173 @@
+package structural
+
+import (
+	"math/rand"
+
+	"agmdp/internal/graph"
+)
+
+// TCL is the Transitive Chung–Lu model of Pfeiffer, La Fond, Moreno and
+// Neville (2012). It refines a Chung–Lu seed graph by repeatedly replacing the
+// oldest edge with either a transitive edge (a node connected to one of its
+// two-hop neighbours, closing at least one triangle) with probability Rho, or
+// another Chung–Lu edge with probability 1−Rho. The paper uses TCL as the
+// closest prior structural model to compare TriCycLe against (Figures 2–3);
+// its ρ parameter is fitted by expectation–maximisation, which is why it is
+// hard to make differentially private.
+type TCL struct{}
+
+// Name implements Model.
+func (TCL) Name() string { return "TCL" }
+
+// Generate implements Model. params.Rho is the transitive closure
+// probability; params.Degrees the target degree sequence.
+func (TCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
+	if err := params.Validate(n); err != nil {
+		panic(err)
+	}
+	sampler := NewNodeSampler(params.Degrees, nil)
+	target := sumDegrees(params.Degrees) / 2
+	g := GenerateCL(rng, n, sampler, target, filter)
+	if g.NumEdges() == 0 {
+		return g
+	}
+
+	// FIFO of edges in insertion order; the head is the oldest edge.
+	queue := newEdgeQueue(g)
+	replacements := g.NumEdges() // replace every seed edge once, as in the TCL paper
+	maxProposals := maxProposalFactor * (replacements + 1)
+	for done, proposals := 0, 0; done < replacements && proposals < maxProposals; proposals++ {
+		vi := sampler.Sample(rng)
+		var vj int
+		if rng.Float64() < params.Rho {
+			vj = sampleTwoHop(rng, g, vi)
+			if vj < 0 {
+				continue
+			}
+		} else {
+			vj = sampler.Sample(rng)
+		}
+		if vi == vj || g.HasEdge(vi, vj) {
+			continue
+		}
+		if !acceptEdge(rng, filter, vi, vj) {
+			continue
+		}
+		oldest, ok := queue.popOldest(g)
+		if !ok {
+			break
+		}
+		g.RemoveEdge(oldest.U, oldest.V)
+		g.AddEdge(vi, vj)
+		queue.push(graph.Edge{U: vi, V: vj})
+		done++
+	}
+	return g
+}
+
+// sampleTwoHop picks a uniformly random neighbour k of vi and then a uniformly
+// random neighbour of k (a "friend of a friend"). It returns -1 when vi has no
+// usable two-hop neighbour.
+func sampleTwoHop(rng *rand.Rand, g *graph.Graph, vi int) int {
+	ni := g.Neighbors(vi)
+	if len(ni) == 0 {
+		return -1
+	}
+	vk := ni[rng.Intn(len(ni))]
+	nk := g.Neighbors(vk)
+	if len(nk) == 0 {
+		return -1
+	}
+	return nk[rng.Intn(len(nk))]
+}
+
+// edgeQueue is a FIFO over the current edge set used to track edge age in the
+// TCL and TriCycLe generators. Entries may be stale (already removed from the
+// graph); popOldest skips them.
+type edgeQueue struct {
+	items []graph.Edge
+	head  int
+}
+
+func newEdgeQueue(g *graph.Graph) *edgeQueue {
+	q := &edgeQueue{items: g.Edges()}
+	return q
+}
+
+func (q *edgeQueue) push(e graph.Edge) {
+	q.items = append(q.items, e.Canonical())
+}
+
+// popOldest returns the oldest edge that still exists in g.
+func (q *edgeQueue) popOldest(g *graph.Graph) (graph.Edge, bool) {
+	for q.head < len(q.items) {
+		e := q.items[q.head]
+		q.head++
+		if g.HasEdge(e.U, e.V) {
+			return e, true
+		}
+	}
+	return graph.Edge{}, false
+}
+
+// FitRho estimates the TCL transitive-closure probability ρ from an input
+// graph by expectation–maximisation. For each observed edge {i, j} the latent
+// variable indicates whether the edge was produced by the transitive step or
+// the Chung–Lu step; under the generative process the per-proposal
+// probabilities are
+//
+//	P_tri(i,j) = (1/m)·Σ_{k ∈ Γ(i)∩Γ(j)} 1/d_k
+//	P_cl(i,j)  = d_i·d_j / (2m²)
+//
+// and the E-step responsibility is ρ·P_tri / (ρ·P_tri + (1−ρ)·P_cl), whose
+// mean over edges is the M-step update. The iteration is monotone and
+// converges in a handful of rounds; iterations caps the number of rounds.
+func FitRho(g *graph.Graph, iterations int) float64 {
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	if iterations <= 0 {
+		iterations = 25
+	}
+	type edgeStat struct{ pTri, pCL float64 }
+	stats := make([]edgeStat, 0, g.NumEdges())
+	degs := g.Degrees()
+	g.ForEachEdge(func(u, v int) bool {
+		var inv float64
+		nu := g.Neighbors(u)
+		for _, k := range nu {
+			if k != v && g.HasEdge(k, v) && degs[k] > 0 {
+				inv += 1 / float64(degs[k])
+			}
+		}
+		pTri := inv / m
+		pCL := float64(degs[u]) * float64(degs[v]) / (2 * m * m)
+		stats = append(stats, edgeStat{pTri: pTri, pCL: pCL})
+		return true
+	})
+	rho := 0.5
+	for iter := 0; iter < iterations; iter++ {
+		var sum float64
+		for _, s := range stats {
+			num := rho * s.pTri
+			den := num + (1-rho)*s.pCL
+			if den > 0 {
+				sum += num / den
+			}
+		}
+		next := sum / m
+		if next < 0 {
+			next = 0
+		}
+		if next > 1 {
+			next = 1
+		}
+		if diff := next - rho; diff < 1e-9 && diff > -1e-9 {
+			rho = next
+			break
+		}
+		rho = next
+	}
+	return rho
+}

@@ -1,0 +1,124 @@
+package structural
+
+import (
+	"math/rand"
+
+	"agmdp/internal/graph"
+)
+
+// TriCycLe is the structural model introduced by the paper (Algorithm 1). It
+// starts from a Chung–Lu seed graph matching the target degree sequence and
+// iteratively rewires edges to create triangles: each step proposes a
+// transitive edge (a "friend of a friend" link), deletes the oldest edge to
+// preserve the expected degree sequence, and keeps the replacement only if it
+// does not decrease the running triangle count. Rewiring stops when the
+// target triangle count n∆ is reached.
+//
+// The zero value enables the orphan-node extension (Algorithm 2): degree-one
+// nodes are excluded from the π distribution and wired up in a post-processing
+// pass applied to both the seed graph and the final graph, which removes the
+// large number of disconnected nodes plain Chung–Lu models produce.
+type TriCycLe struct {
+	// DisablePostProcess turns off the orphan-node extension; used by the
+	// ablation benchmarks.
+	DisablePostProcess bool
+	// MaxProposalFactor overrides the default proposal budget multiplier.
+	MaxProposalFactor int
+}
+
+// Name implements Model.
+func (t TriCycLe) Name() string { return "TriCycLe" }
+
+// Generate implements Model. params.Degrees is the target degree sequence
+// assigned positionally to nodes, params.Triangles the target triangle count.
+func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
+	if err := params.Validate(n); err != nil {
+		panic(err)
+	}
+	proposalFactor := t.MaxProposalFactor
+	if proposalFactor <= 0 {
+		proposalFactor = maxProposalFactor
+	}
+	postProcess := !t.DisablePostProcess
+
+	degrees := params.Degrees
+	totalEdges := sumDegrees(degrees) / 2
+
+	// Orphan extension: exclude degree-one nodes from π and hold back one seed
+	// edge per degree-one node; the post-processing pass wires them up.
+	var excluded func(int) bool
+	degreeOne := 0
+	if postProcess {
+		for _, d := range degrees {
+			if d == 1 {
+				degreeOne++
+			}
+		}
+		excluded = func(i int) bool { return degrees[i] == 1 }
+	}
+	sampler := NewNodeSampler(degrees, excluded)
+	seedTarget := totalEdges - degreeOne
+	if seedTarget < 0 {
+		seedTarget = 0
+	}
+
+	g := GenerateCL(rng, n, sampler, seedTarget, filter)
+	if postProcess {
+		PostProcessGraph(rng, g, sampler, degrees, filter)
+	}
+	if g.NumEdges() == 0 || sampler.Empty() {
+		return g
+	}
+
+	queue := newEdgeQueue(g)
+	tau := g.Triangles()
+	// Proposal budget: enough to rewire every edge several times plus extra
+	// headroom proportional to the number of triangles still missing. A stall
+	// counter additionally aborts the loop when the triangle count has stopped
+	// improving, so unreachable targets terminate quickly.
+	missing := params.Triangles - tau
+	if missing < 0 {
+		missing = 0
+	}
+	maxProposals := proposalFactor*(g.NumEdges()+1) + int(50*missing)
+	stallLimit := 20*(g.NumEdges()+1) + 20000
+	stalled := 0
+	for proposals := 0; tau < params.Triangles && proposals < maxProposals && stalled < stallLimit; proposals++ {
+		stalled++
+		vi := sampler.Sample(rng)
+		vj := sampleTwoHop(rng, g, vi)
+		if vj < 0 || vi == vj || g.HasEdge(vi, vj) {
+			continue
+		}
+		// AGM-DP integration (footnote 4): the acceptance probabilities apply
+		// to the transitive proposals as well as to the seed edges.
+		if !acceptEdge(rng, filter, vi, vj) {
+			continue
+		}
+		oldest, ok := queue.popOldest(g)
+		if !ok {
+			break
+		}
+		cnOld := g.CommonNeighbors(oldest.U, oldest.V)
+		g.RemoveEdge(oldest.U, oldest.V)
+		cnNew := g.CommonNeighbors(vi, vj)
+		if cnNew >= cnOld {
+			g.AddEdge(vi, vj)
+			queue.push(graph.Edge{U: vi, V: vj})
+			tau += int64(cnNew - cnOld)
+			if cnNew > cnOld {
+				stalled = 0
+			}
+		} else {
+			// Undo the deletion; the restored edge becomes the youngest so the
+			// loop cannot immediately pick it again and stall.
+			g.AddEdge(oldest.U, oldest.V)
+			queue.push(oldest)
+		}
+	}
+
+	if postProcess {
+		PostProcessGraph(rng, g, sampler, degrees, filter)
+	}
+	return g
+}
