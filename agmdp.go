@@ -23,15 +23,14 @@
 package agmdp
 
 import (
-	"fmt"
-	"strings"
-
 	"agmdp/internal/attrs"
 	"agmdp/internal/core"
 	"agmdp/internal/datasets"
 	"agmdp/internal/dp"
+	"agmdp/internal/engine"
 	"agmdp/internal/experiments"
 	"agmdp/internal/graph"
+	"agmdp/internal/registry"
 	"agmdp/internal/structural"
 )
 
@@ -85,16 +84,10 @@ const (
 	ModelFCL ModelKind = "fcl"
 )
 
-// structuralModel maps a ModelKind to its implementation.
+// structuralModel maps a ModelKind to its implementation through the shared
+// resolver.
 func structuralModel(kind ModelKind) (structural.Model, error) {
-	switch strings.ToLower(string(kind)) {
-	case "", string(ModelTriCycLe), "tricl":
-		return structural.TriCycLe{}, nil
-	case string(ModelFCL):
-		return structural.FCL{}, nil
-	default:
-		return nil, fmt.Errorf("agmdp: unknown structural model %q (want %q or %q)", kind, ModelTriCycLe, ModelFCL)
-	}
+	return structural.ByName(string(kind), 0)
 }
 
 // Options configures Fit and Synthesize.
@@ -196,6 +189,47 @@ func AttributeDistribution(g *Graph) []float64 { return attrs.TrueThetaX(g) }
 // CorrelationDistribution returns the exact attribute–edge correlation
 // distribution ΘF of a graph.
 func CorrelationDistribution(g *Graph) []float64 { return attrs.TrueThetaF(g) }
+
+// --- Synthesis service: model serialization, registry and engine ---
+
+// Registry is a thread-safe, content-addressed store of fitted models with
+// optional on-disk persistence; see NewRegistry.
+type Registry = registry.Registry
+
+// RegistryOptions configures NewRegistry.
+type RegistryOptions = registry.Options
+
+// ModelInfo summarises one stored model in registry listings.
+type ModelInfo = registry.Info
+
+// NewRegistry opens a model registry. With a non-empty Dir the registry
+// persists models to disk and reloads them on the next open, so expensive DP
+// fits survive process restarts.
+func NewRegistry(opts RegistryOptions) (*Registry, error) { return registry.Open(opts) }
+
+// Engine is a concurrent sampling worker pool over fitted models; see
+// NewEngine.
+type Engine = engine.Engine
+
+// EngineConfig configures NewEngine.
+type EngineConfig = engine.Config
+
+// SampleRequest describes one engine sampling job.
+type SampleRequest = engine.Request
+
+// NewEngine starts a concurrent synthesis engine. Callers must Close it.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// MarshalModel encodes a fitted model into its canonical, versioned JSON
+// form, suitable for storage or transport.
+func MarshalModel(m *FittedModel) ([]byte, error) { return core.MarshalModel(m) }
+
+// UnmarshalModel decodes and validates a model encoded by MarshalModel.
+func UnmarshalModel(data []byte) (*FittedModel, error) { return core.UnmarshalModel(data) }
+
+// ModelID returns the content-addressed identifier of a fitted model (equal
+// parameters always hash to equal IDs).
+func ModelID(m *FittedModel) (string, error) { return core.ModelID(m) }
 
 // Datasets returns the calibrated synthetic dataset profiles standing in for
 // the paper's four real-world social networks.

@@ -12,7 +12,12 @@ package agmdp
 // `go test -bench=. -v` to see them inline.
 
 import (
+	"context"
 	"math"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
 	"testing"
 
 	"agmdp/internal/datasets"
@@ -266,6 +271,121 @@ func BenchmarkFCLGeneration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		structural.FCL{}.Generate(dp.NewRand(int64(i)), g.NumNodes(), params, nil)
+	}
+}
+
+// --- Synthesis-service benchmarks (concurrent sampling engine) ---
+
+// engineBenchFixture fits a non-private FCL model on a ≥50k-node calibrated
+// pokec sample, shared across the engine benchmarks (fitting is the expensive
+// step being amortised — exactly the serving scenario the engine targets).
+var (
+	engineBenchOnce  sync.Once
+	engineBenchFit   *FittedModel
+	engineBenchNodes int
+)
+
+func engineBenchModel(b *testing.B) *FittedModel {
+	b.Helper()
+	engineBenchOnce.Do(func() {
+		p, err := datasets.ByName("pokec")
+		if err != nil {
+			panic(err)
+		}
+		g := datasets.Generate(dp.NewRand(7), p.Scaled(0.1))
+		engineBenchNodes = g.NumNodes()
+		m, err := FitNonPrivate(g, ModelFCL)
+		if err != nil {
+			panic(err)
+		}
+		engineBenchFit = m
+	})
+	if engineBenchNodes < 50000 {
+		b.Fatalf("benchmark dataset has %d nodes, want ≥ 50000", engineBenchNodes)
+	}
+	return engineBenchFit
+}
+
+// benchmarkEngineSample measures throughput of a batch of concurrent sampling
+// jobs on an engine with the given worker count. Before timing it records the
+// engine's determinism contract: same seed + same worker count ⇒ identical
+// output graph. The multi-worker speedup over the 1-worker baseline is
+// proportional to the cores available; on a GOMAXPROCS=1 machine the runs
+// coincide (modulo scheduling overhead) by construction.
+func benchmarkEngineSample(b *testing.B, workers int) {
+	b.Helper()
+	m := engineBenchModel(b)
+	e := NewEngine(EngineConfig{Workers: workers, Seed: 1})
+	defer e.Close()
+	ctx := context.Background()
+
+	g1, err := e.Sample(ctx, SampleRequest{Model: m, Seed: 42, Iterations: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g2, err := e.Sample(ctx, SampleRequest{Model: m, Seed: 42, Iterations: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		b.Fatalf("determinism violated at %d workers: same seed gave different graphs", workers)
+	}
+
+	const batch = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, batch)
+		for j := 0; j < batch; j++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				_, err := e.Sample(ctx, SampleRequest{Model: m, Seed: seed, Iterations: 1})
+				errs <- err
+			}(int64(i*batch+j) + 1)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(batch), "graphs/op")
+}
+
+// BenchmarkEngineSample1Worker is the single-worker baseline.
+func BenchmarkEngineSample1Worker(b *testing.B) { benchmarkEngineSample(b, 1) }
+
+// BenchmarkEngineSample4Workers samples the same batch on four workers.
+func BenchmarkEngineSample4Workers(b *testing.B) { benchmarkEngineSample(b, 4) }
+
+// BenchmarkEngineSampleMaxWorkers uses one worker per available core.
+func BenchmarkEngineSampleMaxWorkers(b *testing.B) {
+	benchmarkEngineSample(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkParallelEdgeSampling measures intra-job parallelism: one Chung–Lu
+// generation on the ≥50k-node degree sequence with 1 vs N proposal streams.
+func BenchmarkParallelEdgeSampling(b *testing.B) {
+	m := engineBenchModel(b)
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, streams := range counts {
+		b.Run("streams="+strconv.Itoa(streams), func(b *testing.B) {
+			model := structural.FCL{Parallelism: streams}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := model.Generate(rand.New(rand.NewSource(int64(i)+1)), m.N, m.Structural, nil)
+				if g.NumEdges() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
 	}
 }
 

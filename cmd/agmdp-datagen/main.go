@@ -9,49 +9,75 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"agmdp"
 )
 
+// usageError marks command-line usage problems; main exits 2 for them (as
+// flag.ExitOnError did before the testable-run refactor). An empty message
+// means the FlagSet already reported the problem.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var uerr usageError
+		if errors.As(err, &uerr) {
+			if uerr != "" {
+				fmt.Fprintf(os.Stderr, "agmdp-datagen: %s\n", string(uerr))
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "agmdp-datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI with the given arguments, writing reports to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agmdp-datagen", flag.ContinueOnError)
 	var (
-		dataset = flag.String("dataset", "lastfm", "dataset profile: lastfm, petster, epinions or pokec")
-		scale   = flag.Float64("scale", 0, "size scale in (0, 1]; 0 selects the profile's default scale")
-		seed    = flag.Int64("seed", 1, "random seed")
-		outPath = flag.String("out", "", "output path (agmdp graph format)")
-		list    = flag.Bool("list", false, "list available dataset profiles and exit")
+		dataset = fs.String("dataset", "lastfm", "dataset profile: lastfm, petster, epinions or pokec")
+		scale   = fs.Float64("scale", 0, "size scale in (0, 1]; 0 selects the profile's default scale")
+		seed    = fs.Int64("seed", 1, "random seed")
+		outPath = fs.String("out", "", "output path (agmdp graph format)")
+		list    = fs.Bool("list", false, "list available dataset profiles and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already printed the parse error and usage.
+		return usageError("")
+	}
 
 	if *list {
-		fmt.Printf("%-10s %10s %10s %8s %14s\n", "name", "nodes", "edges", "dmax", "default scale")
+		fmt.Fprintf(stdout, "%-10s %10s %10s %8s %14s\n", "name", "nodes", "edges", "dmax", "default scale")
 		for _, p := range agmdp.Datasets() {
-			fmt.Printf("%-10s %10d %10d %8d %14.2f\n", p.Name, p.Nodes, p.Edges, p.MaxDegree, p.DefaultScale)
+			fmt.Fprintf(stdout, "%-10s %10d %10d %8d %14.2f\n", p.Name, p.Nodes, p.Edges, p.MaxDegree, p.DefaultScale)
 		}
-		return
+		return nil
 	}
 	if *outPath == "" {
-		fmt.Fprintln(os.Stderr, "agmdp-datagen: -out is required")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return usageError("-out is required")
 	}
 	g, err := agmdp.GenerateDataset(*dataset, *scale, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	s := g.Summarize()
-	fmt.Printf("generated %s: n=%d m=%d dmax=%d triangles=%d avgC=%.4f\n",
+	fmt.Fprintf(stdout, "generated %s: n=%d m=%d dmax=%d triangles=%d avgC=%.4f\n",
 		*dataset, s.Nodes, s.Edges, s.MaxDegree, s.Triangles, s.AvgLocalClustering)
 	if err := agmdp.SaveGraph(g, *outPath); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s\n", *outPath)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "agmdp-datagen: %v\n", err)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "wrote %s\n", *outPath)
+	return nil
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agmdp"
+)
+
+func TestRunGeneratesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lastfm.txt")
+	var buf strings.Builder
+	err := run([]string{"-dataset", "lastfm", "-scale", "0.1", "-seed", "2", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "generated lastfm") {
+		t.Fatalf("missing report: %q", buf.String())
+	}
+	g, err := agmdp.LoadGraph(out)
+	if err != nil {
+		t.Fatalf("output not loadable: %v", err)
+	}
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("generated graph is empty")
+	}
+	if g.NumAttributes() != 2 {
+		t.Fatalf("attributes = %d, want 2", g.NumAttributes())
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	dir := t.TempDir()
+	gen := func(name string, seed string) []byte {
+		t.Helper()
+		out := filepath.Join(dir, name)
+		var buf strings.Builder
+		if err := run([]string{"-dataset", "petster", "-scale", "0.1", "-seed", seed, "-out", out}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b, c := gen("a.txt", "5"), gen("b.txt", "5"), gen("c.txt", "6")
+	if string(a) != string(b) {
+		t.Fatal("equal seeds gave different files")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds gave identical files")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lastfm", "petster", "epinions", "pokec"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("list output missing %s: %q", name, buf.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-dataset", "lastfm"}, &buf); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run([]string{"-dataset", "nope", "-out", filepath.Join(t.TempDir(), "x.txt")}, &buf); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunHelpIsSuccess(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+}

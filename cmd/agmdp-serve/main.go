@@ -1,0 +1,148 @@
+// Command agmdp-serve runs the AGM-DP synthesis service: an HTTP/JSON API
+// over a fitted-model registry and a concurrent sampling engine. Fit a
+// differentially private model once, then sample synthetic graphs from it any
+// number of times at no additional privacy cost (the post-processing property
+// of Algorithm 3).
+//
+// Usage:
+//
+//	agmdp-serve [-addr :8080] [-store DIR] [-workers N] [-queue N] [-parallelism N] [-seed 1] [-max-models N]
+//
+// Endpoints:
+//
+//	POST   /fit          fit a model from an inline graph or a named dataset
+//	POST   /sample       sample a synthetic graph from a stored model
+//	GET    /models       list stored models
+//	GET    /models/{id}  model metadata (?full=1 for the serialized model)
+//	DELETE /models/{id}  evict a model
+//	GET    /healthz      service health and engine load
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests get
+// a drain window, then the engine stops after finishing queued jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"agmdp/internal/engine"
+	"agmdp/internal/registry"
+	"agmdp/internal/server"
+)
+
+// usageError marks command-line usage problems; main exits 2 for them (as
+// flag.ExitOnError did before the testable-run refactor). An empty message
+// means the FlagSet already reported the problem.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		var uerr usageError
+		if errors.As(err, &uerr) {
+			if uerr != "" {
+				fmt.Fprintf(os.Stderr, "agmdp-serve: %s\n", string(uerr))
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "agmdp-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the synthesis service until the context behind
+// SIGINT/SIGTERM (or the optional ready callback's cancellation in tests)
+// fires. ready, when non-nil, receives the listen address after the server
+// socket is bound.
+func run(args []string, stdout io.Writer, ready func(addr string, stop func())) error {
+	fs := flag.NewFlagSet("agmdp-serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		store       = fs.String("store", "", "model store directory (empty = in-memory only)")
+		workers     = fs.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "job queue bound (0 = 4x workers)")
+		parallelism = fs.Int("parallelism", 0, "intra-job edge-sampling streams (<2 = sequential)")
+		seed        = fs.Int64("seed", 1, "base seed for the per-worker RNG streams")
+		maxModels   = fs.Int("max-models", 0, "max resident models, oldest evicted first (0 = unbounded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already printed the parse error and usage.
+		return usageError("")
+	}
+
+	reg, err := registry.Open(registry.Options{Dir: *store, MaxModels: *maxModels})
+	if err != nil {
+		return err
+	}
+	for _, warning := range reg.LoadWarnings() {
+		log.Printf("agmdp-serve: skipped store file: %s", warning)
+	}
+	eng := engine.New(engine.Config{
+		Workers:     *workers,
+		QueueSize:   *queue,
+		Seed:        *seed,
+		Parallelism: *parallelism,
+	})
+	defer eng.Close()
+
+	srv, err := server.New(server.Config{Registry: reg, Engine: eng})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "agmdp-serve: listening on %s (store %q, %d models loaded)\n",
+		ln.Addr(), *store, reg.Len())
+	if ready != nil {
+		ready(ln.Addr().String(), stop)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Println("agmdp-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	return <-errc
+}

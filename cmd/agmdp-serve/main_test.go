@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startService runs the serve command on an ephemeral port and returns its
+// base URL plus a shutdown function that waits for a clean exit.
+func startService(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	addrc := make(chan string, 1)
+	stopc := make(chan func(), 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extraArgs...)
+	var buf strings.Builder
+	go func() {
+		errc <- run(args, &buf, func(addr string, stop func()) {
+			addrc <- addr
+			stopc <- stop
+		})
+	}()
+	select {
+	case addr := <-addrc:
+		stop := <-stopc
+		return "http://" + addr, func() {
+			stop()
+			select {
+			case err := <-errc:
+				if err != nil {
+					t.Errorf("serve exited with %v (output %q)", err, buf.String())
+				}
+			case <-time.After(30 * time.Second):
+				t.Error("serve did not shut down")
+			}
+		}
+	case err := <-errc:
+		t.Fatalf("serve failed to start: %v", err)
+		return "", nil
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	store := t.TempDir()
+	base, shutdown := startService(t, "-store", store)
+
+	// Health.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	// Fit once.
+	fit, err := http.Post(base+"/fit", "application/json", strings.NewReader(
+		`{"dataset":{"name":"lastfm","scale":0.1,"seed":1},"epsilon":1.0,"seed":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(fit.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	fit.Body.Close()
+	if fit.StatusCode != http.StatusOK || fr.ID == "" {
+		t.Fatalf("fit: %d, id %q", fit.StatusCode, fr.ID)
+	}
+
+	// Sample twice at the same seed: identical summaries.
+	sample := func() string {
+		resp, err := http.Post(base+"/sample", "application/json", strings.NewReader(
+			fmt.Sprintf(`{"id":%q,"seed":9,"iterations":1,"format":"summary"}`, fr.ID)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sample: %d %s", resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	if a, b := sample(), sample(); a != b {
+		t.Fatalf("equal seeds gave different summaries: %s vs %s", a, b)
+	}
+	shutdown()
+
+	// The store directory persists the model across a restart.
+	base2, shutdown2 := startService(t, "-store", store)
+	defer shutdown2()
+	resp2, err := http.Get(base2 + "/models/" + fr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("model did not survive restart: %d", resp2.StatusCode)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &buf, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

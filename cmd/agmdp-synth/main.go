@@ -11,33 +11,63 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"agmdp"
 )
 
+// usageError marks command-line usage problems; main exits 2 for them (as
+// flag.ExitOnError did before the testable-run refactor). An empty message
+// means the FlagSet already reported the problem.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var uerr usageError
+		if errors.As(err, &uerr) {
+			if uerr != "" {
+				fmt.Fprintf(os.Stderr, "agmdp-synth: %s\n", string(uerr))
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "agmdp-synth: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI with the given arguments, writing reports to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agmdp-synth", flag.ContinueOnError)
 	var (
-		inPath     = flag.String("in", "", "path to the sensitive input graph (agmdp graph format)")
-		outPath    = flag.String("out", "", "path to write the synthetic graph to (default: stdout summary only)")
-		epsilon    = flag.Float64("epsilon", 1.0, "total differential-privacy budget ε (0 = non-private AGM)")
-		model      = flag.String("model", "tricycle", "structural model: tricycle or fcl")
-		truncation = flag.Int("k", 0, "edge-truncation parameter for ΘF (0 = n^(1/3) heuristic)")
-		seed       = flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
-		iterations = flag.Int("iterations", 3, "acceptance-probability refinement rounds")
+		inPath     = fs.String("in", "", "path to the sensitive input graph (agmdp graph format)")
+		outPath    = fs.String("out", "", "path to write the synthetic graph to (default: stdout summary only)")
+		epsilon    = fs.Float64("epsilon", 1.0, "total differential-privacy budget ε (0 = non-private AGM)")
+		model      = fs.String("model", "tricycle", "structural model: tricycle or fcl")
+		truncation = fs.Int("k", 0, "edge-truncation parameter for ΘF (0 = n^(1/3) heuristic)")
+		seed       = fs.Int64("seed", 1, "random seed (runs are reproducible per seed)")
+		iterations = fs.Int("iterations", 3, "acceptance-probability refinement rounds")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already printed the parse error and usage.
+		return usageError("")
+	}
 
 	if *inPath == "" {
-		fmt.Fprintln(os.Stderr, "agmdp-synth: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return usageError("-in is required")
 	}
 	input, err := agmdp.LoadGraph(*inPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var (
@@ -56,27 +86,23 @@ func main() {
 		synth, fitted, err = agmdp.SynthesizeNonPrivate(input, agmdp.ModelKind(*model), *seed)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	metrics := agmdp.Evaluate(input, synth)
-	fmt.Printf("input:     %d nodes, %d edges, %d triangles\n", input.NumNodes(), input.NumEdges(), input.Triangles())
-	fmt.Printf("synthetic: %d nodes, %d edges, %d triangles (model %s, epsilon %.4g)\n",
+	fmt.Fprintf(stdout, "input:     %d nodes, %d edges, %d triangles\n", input.NumNodes(), input.NumEdges(), input.Triangles())
+	fmt.Fprintf(stdout, "synthetic: %d nodes, %d edges, %d triangles (model %s, epsilon %.4g)\n",
 		synth.NumNodes(), synth.NumEdges(), synth.Triangles(), fitted.ModelName, fitted.Epsilon)
-	fmt.Printf("errors:    ThetaF MAE %.4f, ThetaF Hellinger %.4f, degree KS %.4f, degree Hellinger %.4f\n",
+	fmt.Fprintf(stdout, "errors:    ThetaF MAE %.4f, ThetaF Hellinger %.4f, degree KS %.4f, degree Hellinger %.4f\n",
 		metrics.MREThetaF, metrics.HellingerThetaF, metrics.KSDegree, metrics.HellingerDegree)
-	fmt.Printf("           triangles MRE %.4f, avg clustering MRE %.4f, edges MRE %.4f\n",
+	fmt.Fprintf(stdout, "           triangles MRE %.4f, avg clustering MRE %.4f, edges MRE %.4f\n",
 		metrics.MRETriangles, metrics.MREAvgClustering, metrics.MREEdges)
 
 	if *outPath != "" {
 		if err := agmdp.SaveGraph(synth, *outPath); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote synthetic graph to %s\n", *outPath)
+		fmt.Fprintf(stdout, "wrote synthetic graph to %s\n", *outPath)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "agmdp-synth: %v\n", err)
-	os.Exit(1)
+	return nil
 }

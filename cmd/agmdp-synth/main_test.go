@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agmdp"
+	"agmdp/internal/dp"
+)
+
+// writeFixture saves a small sensitive input graph for the CLI to consume.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	rng := dp.NewRand(3)
+	g := agmdp.NewGraph(80, 2)
+	for i := 0; i < 300; i++ {
+		g.AddEdge(rng.Intn(80), rng.Intn(80))
+	}
+	for i := 0; i < 80; i++ {
+		g.SetAttr(i, agmdp.AttrVector(rng.Intn(4)))
+	}
+	path := filepath.Join(t.TempDir(), "input.txt")
+	if err := agmdp.SaveGraph(g, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrivateSynthesis(t *testing.T) {
+	in := writeFixture(t)
+	out := filepath.Join(t.TempDir(), "synth.txt")
+	var buf strings.Builder
+	err := run([]string{"-in", in, "-out", out, "-epsilon", "1.0", "-seed", "4", "-iterations", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := buf.String()
+	for _, want := range []string{"input:", "synthetic:", "errors:", "wrote synthetic graph"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q: %q", want, report)
+		}
+	}
+	g, err := agmdp.LoadGraph(out)
+	if err != nil {
+		t.Fatalf("output not loadable: %v", err)
+	}
+	if g.NumNodes() != 80 {
+		t.Fatalf("synthetic has %d nodes, want 80", g.NumNodes())
+	}
+}
+
+func TestRunNonPrivateFCL(t *testing.T) {
+	in := writeFixture(t)
+	var buf strings.Builder
+	if err := run([]string{"-in", in, "-epsilon", "0", "-model", "fcl", "-seed", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "model FCL") {
+		t.Fatalf("report missing model name: %q", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/graph.txt"}, &buf); err == nil {
+		t.Fatal("unreadable input accepted")
+	}
+	in := writeFixture(t)
+	if err := run([]string{"-in", in, "-model", "gnp"}, &buf); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module agmdp
+
+go 1.22

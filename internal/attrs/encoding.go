@@ -14,11 +14,16 @@ import (
 	"agmdp/internal/graph"
 )
 
+// MaxWidth is the largest attribute width the configuration encodings
+// support: NumEdgeConfigs(w) must fit in an int, which bounds w well below
+// graph.MaxAttributes.
+const MaxWidth = 30
+
 // NumNodeConfigs returns |Y_w| = 2^w, the number of distinct attribute
 // configurations a node can take with w binary attributes.
 func NumNodeConfigs(w int) int {
-	if w < 0 || w > 30 {
-		panic(fmt.Sprintf("attrs: attribute width %d outside [0, 30]", w))
+	if w < 0 || w > MaxWidth {
+		panic(fmt.Sprintf("attrs: attribute width %d outside [0, %d]", w, MaxWidth))
 	}
 	return 1 << uint(w)
 }

@@ -62,7 +62,7 @@ func (m *FittedModel) Validate() error {
 	if m.N < 0 {
 		return fmt.Errorf("core: negative node count %d", m.N)
 	}
-	if m.W < 0 || m.W > graph.MaxAttributes {
+	if m.W < 0 || m.W > graph.MaxAttributes || m.W > attrs.MaxWidth {
 		return fmt.Errorf("core: attribute width %d out of range", m.W)
 	}
 	if len(m.ThetaX) != attrs.NumNodeConfigs(m.W) {

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"agmdp/internal/structural"
+)
+
+// modelFormatVersion is bumped whenever the serialized layout of FittedModel
+// changes incompatibly. UnmarshalModel rejects versions it does not know.
+const modelFormatVersion = 1
+
+// modelEnvelope is the on-disk/wire representation of a FittedModel. The
+// parameters are flattened (rather than embedding structural.Params) so the
+// serialized form is independent of internal struct layout.
+type modelEnvelope struct {
+	Version   int       `json:"version"`
+	N         int       `json:"n"`
+	W         int       `json:"w"`
+	ThetaX    []float64 `json:"theta_x"`
+	ThetaF    []float64 `json:"theta_f"`
+	Degrees   []int     `json:"degrees"`
+	Triangles int64     `json:"triangles"`
+	Rho       float64   `json:"rho,omitempty"`
+	ModelName string    `json:"model"`
+	Epsilon   float64   `json:"epsilon,omitempty"`
+}
+
+// MarshalModel encodes a fitted model into its canonical, versioned JSON
+// representation. The encoding is deterministic (struct fields are emitted in
+// declaration order), so equal models always produce equal bytes — the
+// property ModelID relies on for content addressing.
+func MarshalModel(m *FittedModel) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: cannot marshal nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: refusing to marshal invalid model: %w", err)
+	}
+	return json.Marshal(modelEnvelope{
+		Version:   modelFormatVersion,
+		N:         m.N,
+		W:         m.W,
+		ThetaX:    m.ThetaX,
+		ThetaF:    m.ThetaF,
+		Degrees:   m.Structural.Degrees,
+		Triangles: m.Structural.Triangles,
+		Rho:       m.Structural.Rho,
+		ModelName: m.ModelName,
+		Epsilon:   m.Epsilon,
+	})
+}
+
+// UnmarshalModel decodes a fitted model previously encoded with MarshalModel
+// and validates it, so a registry or API caller can never resurrect an
+// internally inconsistent model.
+func UnmarshalModel(data []byte) (*FittedModel, error) {
+	var env modelEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if env.Version != modelFormatVersion {
+		return nil, fmt.Errorf("core: unsupported model format version %d (want %d)", env.Version, modelFormatVersion)
+	}
+	m := &FittedModel{
+		N:      env.N,
+		W:      env.W,
+		ThetaX: env.ThetaX,
+		ThetaF: env.ThetaF,
+		Structural: structural.Params{
+			Degrees:   env.Degrees,
+			Triangles: env.Triangles,
+			Rho:       env.Rho,
+		},
+		ModelName: env.ModelName,
+		Epsilon:   env.Epsilon,
+	}
+	if m.ThetaX == nil {
+		m.ThetaX = []float64{}
+	}
+	if m.ThetaF == nil {
+		m.ThetaF = []float64{}
+	}
+	if m.Structural.Degrees == nil {
+		m.Structural.Degrees = []int{}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: decoded model is invalid: %w", err)
+	}
+	return m, nil
+}
+
+// ModelID returns the content-addressed identifier of a fitted model: the
+// hex-encoded SHA-256 digest of its canonical encoding, truncated to 16 bytes
+// (32 hex characters). Models with identical parameters share an ID, so a
+// registry keyed by ModelID deduplicates repeated fits for free.
+func ModelID(m *FittedModel) (string, error) {
+	data, err := MarshalModel(m)
+	if err != nil {
+		return "", err
+	}
+	return ModelIDFromBytes(data), nil
+}
+
+// ModelIDFromBytes computes the content-addressed identifier directly from a
+// canonical encoding produced by MarshalModel.
+func ModelIDFromBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}

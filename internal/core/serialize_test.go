@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"agmdp/internal/dp"
+	"agmdp/internal/graph"
+	"agmdp/internal/structural"
+)
+
+// serializeFixture builds a small fitted model with every field populated.
+func serializeFixture(t *testing.T) *FittedModel {
+	t.Helper()
+	rng := dp.NewRand(11)
+	g := graph.New(40, 2)
+	for i := 0; i < 120; i++ {
+		g.AddEdge(rng.Intn(40), rng.Intn(40))
+	}
+	for i := 0; i < 40; i++ {
+		g.SetAttr(i, graph.AttrVector(rng.Intn(4)))
+	}
+	m, err := FitDP(dp.NewRand(3), g, Config{Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMarshalModelRoundTrip(t *testing.T) {
+	m := serializeFixture(t)
+	data, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != m.N || back.W != m.W || back.ModelName != m.ModelName || back.Epsilon != m.Epsilon {
+		t.Fatalf("header mismatch: got %+v want %+v", back, m)
+	}
+	if len(back.ThetaX) != len(m.ThetaX) || len(back.ThetaF) != len(m.ThetaF) {
+		t.Fatal("distribution length mismatch")
+	}
+	for i := range m.ThetaX {
+		if back.ThetaX[i] != m.ThetaX[i] {
+			t.Fatalf("ThetaX[%d] = %v, want %v", i, back.ThetaX[i], m.ThetaX[i])
+		}
+	}
+	if back.Structural.Triangles != m.Structural.Triangles {
+		t.Fatalf("triangles = %d, want %d", back.Structural.Triangles, m.Structural.Triangles)
+	}
+	for i := range m.Structural.Degrees {
+		if back.Structural.Degrees[i] != m.Structural.Degrees[i] {
+			t.Fatalf("degree[%d] mismatch", i)
+		}
+	}
+}
+
+// TestMarshalModelDeterministic verifies the canonical-encoding property that
+// content addressing relies on.
+func TestMarshalModelDeterministic(t *testing.T) {
+	m := serializeFixture(t)
+	a, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same model differ")
+	}
+}
+
+func TestModelIDContentAddressing(t *testing.T) {
+	m := serializeFixture(t)
+	id1, err := ModelID(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A decoded copy has the same parameters, so it must share the ID.
+	data, _ := MarshalModel(m)
+	copyM, _ := UnmarshalModel(data)
+	id2, err := ModelID(copyM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("equal models hash to different IDs: %s vs %s", id1, id2)
+	}
+	// Any parameter change must change the ID.
+	copyM.Structural.Triangles++
+	id3, err := ModelID(copyM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Fatal("different models share an ID")
+	}
+	if len(id1) != 32 {
+		t.Fatalf("ID length %d, want 32 hex chars", len(id1))
+	}
+}
+
+func TestUnmarshalModelRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"wrong version":   `{"version":99,"n":0,"w":0,"theta_x":[1],"theta_f":[1],"degrees":[],"triangles":0,"model":"FCL"}`,
+		"invalid degrees": `{"version":1,"n":2,"w":0,"theta_x":[1],"theta_f":[1],"degrees":[5,0],"triangles":0,"model":"FCL"}`,
+		"bad theta len":   `{"version":1,"n":1,"w":1,"theta_x":[1],"theta_f":[1],"degrees":[0],"triangles":0,"model":"FCL"}`,
+		// w in (attrs.MaxWidth, graph.MaxAttributes] must error, not panic in
+		// the attrs config-count helpers.
+		"width above attrs limit": `{"version":1,"n":1,"w":31,"theta_x":[1],"theta_f":[1],"degrees":[0],"triangles":0,"model":"FCL"}`,
+	}
+	for name, body := range cases {
+		if _, err := UnmarshalModel([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalModelRejectsInvalid(t *testing.T) {
+	if _, err := MarshalModel(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	m := serializeFixture(t)
+	m.Structural.Degrees = m.Structural.Degrees[:1]
+	if _, err := MarshalModel(m); err == nil {
+		t.Fatal("inconsistent model accepted")
+	}
+}
+
+// TestSerializedModelSamplesIdentically is the registry round-trip
+// requirement: marshal → unmarshal → identical samples at equal seed.
+func TestSerializedModelSamplesIdentically(t *testing.T) {
+	m := serializeFixture(t)
+	data, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		g1, err := Sample(dp.NewRand(seed), m, SampleOptions{Iterations: 1, Model: structural.TriCycLe{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Sample(dp.NewRand(seed), back, SampleOptions{Iterations: 1, Model: structural.TriCycLe{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g1.Equal(g2) {
+			t.Fatalf("seed %d: original and round-tripped model sample different graphs", seed)
+		}
+	}
+}

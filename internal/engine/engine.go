@@ -1,0 +1,242 @@
+// Package engine provides a concurrent synthesis engine for fitted AGM-DP
+// models: a fixed pool of workers drains a bounded job queue, each worker owns
+// a deterministic RNG stream (base seed + worker index), and individual
+// sampling jobs can additionally shard their Chung–Lu edge proposals across
+// parallel streams (structural.GenerateCLParallel).
+//
+// Sampling a fitted model consumes no privacy budget (post-processing), so
+// the engine can serve an unbounded number of synthesis requests from one
+// expensive fit. Determinism contract: a job that carries an explicit seed
+// produces the same graph no matter which worker runs it or how loaded the
+// engine is; jobs without a seed draw one from the executing worker's stream
+// and are reproducible only under identical scheduling.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"agmdp/internal/core"
+	"agmdp/internal/dp"
+	"agmdp/internal/graph"
+	"agmdp/internal/structural"
+)
+
+// ErrClosed is returned by Sample after Close has been called.
+var ErrClosed = errors.New("engine: closed")
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the number of concurrent sampling workers; values below 1
+	// select runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueSize bounds the job queue; Sample blocks (respecting its context)
+	// while the queue is full, which gives natural backpressure under load.
+	// Values below 1 select 4×Workers.
+	QueueSize int
+	// Seed is the base seed for the per-worker RNG streams: worker i draws
+	// from a stream seeded with Seed+i. Jobs with explicit seeds ignore the
+	// worker streams entirely.
+	Seed int64
+	// Parallelism is the number of intra-job edge-proposal streams handed to
+	// the structural samplers; values below 2 sample each job sequentially.
+	// It is independent of Workers: Workers scales throughput across jobs,
+	// Parallelism scales latency within one job.
+	Parallelism int
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize < 1 {
+		c.QueueSize = 4 * c.Workers
+	}
+	return c
+}
+
+// Request describes one sampling job.
+type Request struct {
+	// Model is the fitted model to sample from. Required.
+	Model *core.FittedModel
+	// Seed, when non-zero, makes the job fully deterministic: equal seeds (at
+	// equal engine Parallelism) give byte-identical graphs. Zero draws a seed
+	// from the executing worker's stream.
+	Seed int64
+	// Iterations is the number of acceptance-probability refinement rounds;
+	// zero selects core.DefaultSampleIterations.
+	Iterations int
+	// ModelKind optionally overrides the structural model ("tricycle", "fcl",
+	// "tcl"); empty uses the model the parameters were fitted for.
+	ModelKind string
+}
+
+// Stats is a point-in-time snapshot of engine load, served by /healthz.
+type Stats struct {
+	Workers     int   `json:"workers"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueCap    int   `json:"queue_cap"`
+	Parallelism int   `json:"parallelism"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+}
+
+// job pairs a request with its reply channel.
+type job struct {
+	ctx    context.Context
+	req    Request
+	seed   int64 // resolved seed; 0 means "draw from worker stream"
+	result chan jobResult
+}
+
+type jobResult struct {
+	g    *graph.Graph
+	seed int64 // the seed that actually drove the draw
+	err  error
+}
+
+// Engine is a concurrent sampling worker pool. Construct with New; the zero
+// value is not usable.
+type Engine struct {
+	cfg       Config
+	jobs      chan *job
+	wg        sync.WaitGroup
+	mu        sync.RWMutex
+	closed    bool
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// New starts an engine with cfg.Workers sampling workers. Callers must Close
+// the engine to release them.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:  cfg,
+		jobs: make(chan *job, cfg.QueueSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+	return e
+}
+
+// worker drains the job queue. Each worker owns the deterministic stream
+// seeded with cfg.Seed + its index, consumed only by jobs without explicit
+// seeds.
+func (e *Engine) worker(index int) {
+	defer e.wg.Done()
+	stream := dp.NewRand(e.cfg.Seed + int64(index))
+	for j := range e.jobs {
+		if err := j.ctx.Err(); err != nil {
+			// The caller already gave up; don't burn a core on the sample.
+			j.result <- jobResult{err: err}
+			continue
+		}
+		seed := j.seed
+		for seed == 0 {
+			seed = stream.Int63()
+		}
+		g, err := e.sampleOnce(j.req, seed)
+		if err != nil {
+			e.failed.Add(1)
+		} else {
+			e.completed.Add(1)
+		}
+		j.result <- jobResult{g: g, seed: seed, err: err}
+	}
+}
+
+// sampleOnce draws one synthetic graph with a concrete seed.
+func (e *Engine) sampleOnce(req Request, seed int64) (*graph.Graph, error) {
+	model, err := e.structuralModel(req.ModelKind, req.Model.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	return core.Sample(dp.NewRand(seed), req.Model, core.SampleOptions{
+		Iterations: req.Iterations,
+		Model:      model,
+	})
+}
+
+// structuralModel resolves a model name to an implementation carrying the
+// engine's intra-job parallelism.
+func (e *Engine) structuralModel(kind, fittedName string) (structural.Model, error) {
+	if kind == "" {
+		kind = fittedName
+	}
+	return structural.ByName(kind, e.cfg.Parallelism)
+}
+
+// Sample enqueues one job and blocks until it completes, the context is
+// cancelled, or the engine is closed. It is safe for concurrent use; when the
+// bounded queue is full it blocks, which is the engine's backpressure
+// mechanism.
+func (e *Engine) Sample(ctx context.Context, req Request) (*graph.Graph, error) {
+	g, _, err := e.SampleSeeded(ctx, req)
+	return g, err
+}
+
+// SampleSeeded is Sample, but additionally returns the seed that actually
+// drove the draw: the request's own seed, or — for unseeded jobs — the one
+// drawn from the executing worker's stream. Returning it is what keeps
+// auto-seeded samples reproducible after the fact.
+func (e *Engine) SampleSeeded(ctx context.Context, req Request) (*graph.Graph, int64, error) {
+	if req.Model == nil {
+		return nil, 0, errors.New("engine: nil model in request")
+	}
+	j := &job{ctx: ctx, req: req, seed: req.Seed, result: make(chan jobResult, 1)}
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, 0, ErrClosed
+	}
+	select {
+	case e.jobs <- j:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		return nil, 0, ctx.Err()
+	}
+
+	select {
+	case res := <-j.result:
+		return res.g, res.seed, res.err
+	case <-ctx.Done():
+		// The job may still run to completion on a worker; its result is
+		// discarded via the buffered channel.
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the engine's load counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:     e.cfg.Workers,
+		QueueDepth:  len(e.jobs),
+		QueueCap:    cap(e.jobs),
+		Parallelism: e.cfg.Parallelism,
+		Completed:   e.completed.Load(),
+		Failed:      e.failed.Load(),
+	}
+}
+
+// Close stops accepting new jobs, drains the queue, and waits for in-flight
+// jobs to finish. It is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}

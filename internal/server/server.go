@@ -1,0 +1,410 @@
+// Package server exposes the AGM-DP synthesis service over HTTP/JSON: fit a
+// differentially private model once (POST /fit), store it in the registry,
+// then sample synthetic graphs from it any number of times (POST /sample) at
+// no additional privacy cost. The handlers wire together the model registry
+// (package registry) and the concurrent sampling engine (package engine);
+// request-scoped timeouts bound every sampling job.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"agmdp/internal/core"
+	"agmdp/internal/datasets"
+	"agmdp/internal/dp"
+	"agmdp/internal/engine"
+	"agmdp/internal/graph"
+	"agmdp/internal/registry"
+	"agmdp/internal/structural"
+)
+
+// Config configures a Server. Registry and Engine are required.
+type Config struct {
+	Registry *registry.Registry
+	Engine   *engine.Engine
+	// FitTimeout bounds POST /fit requests (default 5 minutes). Fitting runs
+	// in the request goroutine; the deadline rejects queued work, it cannot
+	// interrupt a fit already in progress.
+	FitTimeout time.Duration
+	// SampleTimeout bounds POST /sample requests (default 1 minute); jobs
+	// whose context expires while queued are abandoned by the engine.
+	SampleTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 64 MiB — inline graphs carry
+	// full edge lists).
+	MaxBodyBytes int64
+	// MaxFitNodes caps the node count of a fit input, whether inline or
+	// dataset-generated (default 2,000,000). The graph substrate allocates
+	// per-node state up front, so an unchecked client-supplied n could
+	// exhaust memory from a tiny request body.
+	MaxFitNodes int
+	// MaxFitAttributes caps the attribute width of a fit input (default 12).
+	// The correlation estimators allocate O(4^w) state, so widths the attrs
+	// layer technically supports can still exhaust memory from a tiny
+	// request; the paper's experiments use w = 2.
+	MaxFitAttributes int
+}
+
+// Server handles the synthesis-service HTTP API.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds a Server over a registry and an engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("server: nil registry")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	if cfg.FitTimeout <= 0 {
+		cfg.FitTimeout = 5 * time.Minute
+	}
+	if cfg.SampleTimeout <= 0 {
+		cfg.SampleTimeout = time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.MaxFitNodes <= 0 {
+		cfg.MaxFitNodes = 2_000_000
+	}
+	if cfg.MaxFitAttributes <= 0 {
+		cfg.MaxFitAttributes = 12
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /models", s.handleListModels)
+	s.mux.HandleFunc("GET /models/{id}", s.handleGetModel)
+	s.mux.HandleFunc("DELETE /models/{id}", s.handleEvictModel)
+	s.mux.HandleFunc("POST /fit", s.handleFit)
+	s.mux.HandleFunc("POST /sample", s.handleSample)
+	return s, nil
+}
+
+// Handler returns the root http.Handler of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body into v with the configured size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status string       `json:"status"`
+	Models int          `json:"models"`
+	Engine engine.Stats `json:"engine"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status: "ok",
+		Models: s.cfg.Registry.Len(),
+		Engine: s.cfg.Engine.Stats(),
+	})
+}
+
+// listModelsResponse is the GET /models body.
+type listModelsResponse struct {
+	Models []registry.Info `json:"models"`
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listModelsResponse{Models: s.cfg.Registry.List()})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if full := r.URL.Query().Get("full"); full != "" && full != "0" && full != "false" {
+		data, ok := s.cfg.Registry.Bytes(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no model %q", id)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	info, ok := s.cfg.Registry.Stat(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no model %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleEvictModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.cfg.Registry.Evict(id) {
+		writeError(w, http.StatusNotFound, "no model %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// graphPayload is the inline JSON form of an attributed graph. Attrs holds
+// one bitmask per node (bit j = attribute j); it may be omitted for
+// structure-only graphs.
+type graphPayload struct {
+	N     int      `json:"n"`
+	W     int      `json:"w"`
+	Attrs []uint64 `json:"attrs,omitempty"`
+	Edges [][2]int `json:"edges"`
+}
+
+// toGraph materialises the payload, validating IDs and widths.
+func (p *graphPayload) toGraph() (*graph.Graph, error) {
+	if p.N < 0 || p.W < 0 || p.W > graph.MaxAttributes {
+		return nil, fmt.Errorf("graph dimensions n=%d w=%d out of range", p.N, p.W)
+	}
+	if p.Attrs != nil && len(p.Attrs) != p.N {
+		return nil, fmt.Errorf("got %d attribute vectors for %d nodes", len(p.Attrs), p.N)
+	}
+	g := graph.New(p.N, p.W)
+	for i, e := range p.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= p.N || v < 0 || v >= p.N {
+			return nil, fmt.Errorf("edge %d endpoint out of range [0, %d)", i, p.N)
+		}
+		g.AddEdge(u, v)
+	}
+	for i, a := range p.Attrs {
+		g.SetAttr(i, graph.AttrVector(a))
+	}
+	return g, nil
+}
+
+// payloadFromGraph converts a graph into its inline JSON form.
+func payloadFromGraph(g *graph.Graph) *graphPayload {
+	p := &graphPayload{N: g.NumNodes(), W: g.NumAttributes(), Edges: make([][2]int, 0, g.NumEdges())}
+	for _, e := range g.Edges() {
+		p.Edges = append(p.Edges, [2]int{e.U, e.V})
+	}
+	if g.NumAttributes() > 0 {
+		p.Attrs = make([]uint64, g.NumNodes())
+		for i := range p.Attrs {
+			p.Attrs[i] = uint64(g.Attr(i))
+		}
+	}
+	return p
+}
+
+// datasetSpec asks the service to generate one of the calibrated synthetic
+// datasets server-side instead of uploading a graph.
+type datasetSpec struct {
+	Name  string  `json:"name"`
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+// fitRequest is the POST /fit body. Exactly one of Graph or Dataset must be
+// set. Epsilon 0 requests a non-private (baseline) fit.
+type fitRequest struct {
+	Graph       *graphPayload `json:"graph,omitempty"`
+	Dataset     *datasetSpec  `json:"dataset,omitempty"`
+	Epsilon     float64       `json:"epsilon,omitempty"`
+	Model       string        `json:"model,omitempty"`
+	TruncationK int           `json:"truncation_k,omitempty"`
+	Seed        int64         `json:"seed,omitempty"`
+}
+
+// fitResponse is the POST /fit body on success.
+type fitResponse struct {
+	ID   string        `json:"id"`
+	Info registry.Info `json:"info"`
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FitTimeout)
+	defer cancel()
+
+	var req fitRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding fit request: %v", err)
+		return
+	}
+	if (req.Graph == nil) == (req.Dataset == nil) {
+		writeError(w, http.StatusBadRequest, "exactly one of graph or dataset must be set")
+		return
+	}
+	if req.Epsilon < 0 {
+		writeError(w, http.StatusBadRequest, "negative epsilon %v (use 0 for a non-private baseline fit)", req.Epsilon)
+		return
+	}
+	model, err := structural.ByName(req.Model, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var g *graph.Graph
+	if req.Graph != nil {
+		if req.Graph.N > s.cfg.MaxFitNodes {
+			writeError(w, http.StatusBadRequest, "graph has %d nodes, limit is %d", req.Graph.N, s.cfg.MaxFitNodes)
+			return
+		}
+		if req.Graph.W > s.cfg.MaxFitAttributes {
+			writeError(w, http.StatusBadRequest, "graph has %d attributes, limit is %d", req.Graph.W, s.cfg.MaxFitAttributes)
+			return
+		}
+		g, err = req.Graph.toGraph()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid graph: %v", err)
+			return
+		}
+	} else {
+		p, err := datasets.ByName(req.Dataset.Name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		scale := req.Dataset.Scale
+		if scale <= 0 {
+			scale = p.DefaultScale
+		}
+		if scale > 1 {
+			writeError(w, http.StatusBadRequest, "dataset scale %v outside (0, 1]", scale)
+			return
+		}
+		if scaled := p.Scaled(scale); scaled.Nodes > s.cfg.MaxFitNodes {
+			writeError(w, http.StatusBadRequest, "dataset at scale %v has %d nodes, limit is %d", scale, scaled.Nodes, s.cfg.MaxFitNodes)
+			return
+		}
+		g = datasets.Generate(dp.NewRand(req.Dataset.Seed), p.Scaled(scale))
+	}
+	if err := ctx.Err(); err != nil {
+		writeError(w, http.StatusRequestTimeout, "fit deadline exceeded before fitting started")
+		return
+	}
+
+	var fitted *core.FittedModel
+	if req.Epsilon > 0 {
+		fitted, err = core.FitDP(dp.NewRand(req.Seed), g, core.Config{
+			Epsilon:     req.Epsilon,
+			TruncationK: req.TruncationK,
+			Model:       model,
+		})
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "fit failed: %v", err)
+			return
+		}
+	} else {
+		fitted = core.Fit(g, model)
+	}
+
+	id, err := s.cfg.Registry.Put(fitted)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "storing model: %v", err)
+		return
+	}
+	info, _ := s.cfg.Registry.Stat(id)
+	writeJSON(w, http.StatusOK, fitResponse{ID: id, Info: info})
+}
+
+// sampleRequest is the POST /sample body. Format selects the response shape:
+// "json" (default) inlines the graph as a graphPayload; "text" streams the
+// agmdp graph text format (deterministic and byte-identical for equal seeds);
+// "summary" returns statistics only.
+type sampleRequest struct {
+	ID         string `json:"id"`
+	Seed       int64  `json:"seed,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Model      string `json:"model,omitempty"`
+	Format     string `json:"format,omitempty"`
+}
+
+// sampleResponse is the POST /sample body for the json and summary formats.
+type sampleResponse struct {
+	ID        string        `json:"id"`
+	Seed      int64         `json:"seed"`
+	Nodes     int           `json:"nodes"`
+	Edges     int           `json:"edges"`
+	Triangles int64         `json:"triangles"`
+	Graph     *graphPayload `json:"graph,omitempty"`
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SampleTimeout)
+	defer cancel()
+
+	var req sampleRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding sample request: %v", err)
+		return
+	}
+	switch req.Format {
+	case "", "json", "text", "summary":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text or summary)", req.Format)
+		return
+	}
+	// The shared decoded instance skips a per-request model decode; sampling
+	// never mutates it.
+	m, ok := s.cfg.Registry.Model(req.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no model %q", req.ID)
+		return
+	}
+
+	g, seed, err := s.cfg.Engine.SampleSeeded(ctx, engine.Request{
+		Model:      m,
+		Seed:       req.Seed,
+		Iterations: req.Iterations,
+		ModelKind:  req.Model,
+	})
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "sampling timed out: %v", err)
+		return
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "engine shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, "sampling failed: %v", err)
+		return
+	}
+
+	if req.Format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		g.WriteGraph(w)
+		return
+	}
+	resp := sampleResponse{
+		ID:        req.ID,
+		Seed:      seed,
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		Triangles: g.Triangles(),
+	}
+	if req.Format != "summary" {
+		resp.Graph = payloadFromGraph(g)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -16,20 +16,28 @@ const maxProposalFactor = 60
 // graph whose expected degree sequence matches the target degrees but makes no
 // attempt to reproduce clustering. It is the simple structural model the paper
 // evaluates as AGM-FCL / AGMDP-FCL.
-type FCL struct{}
+//
+// The zero value generates sequentially. Setting Parallelism > 1 proposes
+// edges from that many concurrent streams (see GenerateCLParallel); output
+// remains deterministic for a fixed (seed, Parallelism) pair.
+type FCL struct {
+	// Parallelism is the number of concurrent edge-proposal streams; values
+	// below 2 select the sequential generator.
+	Parallelism int
+}
 
 // Name implements Model.
 func (FCL) Name() string { return "FCL" }
 
-// Generate implements Model by delegating to GenerateCL with the full target
-// edge count.
-func (FCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
+// Generate implements Model by delegating to GenerateCL (or its parallel
+// variant) with the full target edge count.
+func (f FCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
 	if err := params.Validate(n); err != nil {
 		panic(err)
 	}
 	sampler := NewNodeSampler(params.Degrees, nil)
 	target := sumDegrees(params.Degrees) / 2
-	return GenerateCL(rng, n, sampler, target, filter)
+	return GenerateCLParallel(rng, n, sampler, target, filter, f.Parallelism)
 }
 
 // GenerateCL samples a Chung–Lu graph with the given number of edges over n

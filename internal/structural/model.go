@@ -13,6 +13,7 @@ package structural
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"agmdp/internal/graph"
 )
@@ -67,6 +68,25 @@ func (p Params) Validate(n int) error {
 		return fmt.Errorf("structural: transitive closure probability %v outside [0, 1]", p.Rho)
 	}
 	return nil
+}
+
+// ByName resolves a structural model from a user-facing or fitted name:
+// "tricycle"/"tricl"/"TriCycLe", "fcl", or "tcl", case-insensitively; the
+// empty string selects TriCycLe. parallelism configures the resolved model's
+// concurrent edge-proposal streams where the model supports them. It is the
+// single resolver shared by the facade, the engine and the HTTP API, so the
+// accepted spellings cannot drift apart between fitting and sampling.
+func ByName(name string, parallelism int) (Model, error) {
+	switch strings.ToLower(name) {
+	case "", "tricycle", "tricl":
+		return TriCycLe{Parallelism: parallelism}, nil
+	case "fcl":
+		return FCL{Parallelism: parallelism}, nil
+	case "tcl":
+		return TCL{}, nil
+	default:
+		return nil, fmt.Errorf("structural: unknown model %q (want tricycle, fcl or tcl)", name)
+	}
 }
 
 // Model is the interface AGM-DP uses to plug in a structural generator.

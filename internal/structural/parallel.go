@@ -1,0 +1,136 @@
+package structural
+
+import (
+	"math/rand"
+	"sync"
+
+	"agmdp/internal/graph"
+)
+
+// minParallelEdges is the edge-count threshold below which GenerateCLParallel
+// falls back to the sequential generator: for small targets the goroutine and
+// merge overhead exceeds the sampling work itself.
+const minParallelEdges = 4096
+
+// GenerateCLParallel samples a Chung–Lu graph like GenerateCL but proposes
+// edges from `workers` concurrent streams. Determinism is preserved in a
+// slightly weaker but well-defined form: the output depends only on
+// (rng state, n, sampler, targetEdges, filter, workers) — the same seed with
+// the same worker count always reproduces the same graph, while different
+// worker counts are different (equally valid) draws from the model.
+//
+// The construction keeps the merge deterministic despite concurrent
+// execution: worker i draws from its own rand.Rand seeded by the i-th value
+// taken from the parent rng up front, collects its accepted edges into a
+// private list, and the lists are merged in worker order with duplicates
+// dropped. A sequential top-up pass (with its own pre-drawn seed) then fills
+// any shortfall caused by cross-worker duplicate proposals.
+//
+// When workers > 1 the filter may be called from multiple goroutines
+// concurrently and must be safe for concurrent use; the filters built by the
+// AGM-DP sampler only read shared slices, so they qualify.
+func GenerateCLParallel(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges int, filter EdgeFilter, workers int) *graph.Graph {
+	if workers <= 1 || targetEdges < minParallelEdges {
+		return GenerateCL(rng, n, sampler, targetEdges, filter)
+	}
+	if sampler.Empty() || targetEdges <= 0 {
+		return graph.New(n, 0)
+	}
+
+	// Draw every seed before any goroutine starts so the parent rng is
+	// consumed identically regardless of scheduling.
+	seeds := make([]int64, workers)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	topUpSeed := rng.Int63()
+
+	// Partition the edge target across workers; the first target%workers
+	// shards carry one extra edge.
+	shards := make([]int, workers)
+	base, extra := targetEdges/workers, targetEdges%workers
+	for i := range shards {
+		shards[i] = base
+		if i < extra {
+			shards[i]++
+		}
+	}
+
+	results := make([][]graph.Edge, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = proposeEdges(rand.New(rand.NewSource(seeds[w])), sampler, shards[w], filter)
+		}(i)
+	}
+	wg.Wait()
+
+	// Merge in worker order; AddEdge silently drops cross-worker duplicates.
+	g := graph.New(n, 0)
+	for _, edges := range results {
+		for _, e := range edges {
+			g.AddEdge(e.U, e.V)
+		}
+	}
+
+	// Top-up: cross-worker duplicates leave the merged graph slightly short of
+	// the target; finish sequentially with the same proposal budget per edge
+	// as the sequential generator.
+	if short := targetEdges - g.NumEdges(); short > 0 {
+		topUp(rand.New(rand.NewSource(topUpSeed)), g, sampler, targetEdges, filter)
+	}
+	return g
+}
+
+// proposeEdges runs one worker's proposal loop: Chung–Lu endpoint draws with
+// self-loops, locally duplicate proposals and filter rejections discarded,
+// until `target` edges are collected or the proposal budget runs out. The
+// worker deduplicates only against its own accepted edges; cross-worker
+// duplicates are handled at merge time.
+func proposeEdges(rng *rand.Rand, sampler *NodeSampler, target int, filter EdgeFilter) []graph.Edge {
+	edges := make([]graph.Edge, 0, target)
+	seen := make(map[graph.Edge]struct{}, target)
+	maxProposals := maxProposalFactor * (target + 1)
+	if filter != nil {
+		maxProposals *= 8
+	}
+	for proposals := 0; len(edges) < target && proposals < maxProposals; proposals++ {
+		u := sampler.Sample(rng)
+		v := sampler.Sample(rng)
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canonical()
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		if !acceptEdge(rng, filter, u, v) {
+			continue
+		}
+		seen[e] = struct{}{}
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// topUp sequentially proposes edges into g until it reaches targetEdges or the
+// proposal budget is exhausted, mirroring the GenerateCL loop.
+func topUp(rng *rand.Rand, g *graph.Graph, sampler *NodeSampler, targetEdges int, filter EdgeFilter) {
+	maxProposals := maxProposalFactor * (targetEdges - g.NumEdges() + 1)
+	if filter != nil {
+		maxProposals *= 8
+	}
+	for proposals := 0; g.NumEdges() < targetEdges && proposals < maxProposals; proposals++ {
+		u := sampler.Sample(rng)
+		v := sampler.Sample(rng)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if !acceptEdge(rng, filter, u, v) {
+			continue
+		}
+		g.AddEdge(u, v)
+	}
+}

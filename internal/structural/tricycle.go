@@ -24,6 +24,12 @@ type TriCycLe struct {
 	DisablePostProcess bool
 	// MaxProposalFactor overrides the default proposal budget multiplier.
 	MaxProposalFactor int
+	// Parallelism is the number of concurrent edge-proposal streams used for
+	// the Chung–Lu seed graph; values below 2 generate sequentially. The
+	// triangle-rewiring phase is inherently sequential (each proposal depends
+	// on the current edge set and triangle count) and is unaffected. Output is
+	// deterministic for a fixed (seed, Parallelism) pair.
+	Parallelism int
 }
 
 // Name implements Model.
@@ -62,7 +68,7 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		seedTarget = 0
 	}
 
-	g := GenerateCL(rng, n, sampler, seedTarget, filter)
+	g := GenerateCLParallel(rng, n, sampler, seedTarget, filter, t.Parallelism)
 	if postProcess {
 		PostProcessGraph(rng, g, sampler, degrees, filter)
 	}
