@@ -34,9 +34,16 @@ import (
 	"agmdp/internal/structural"
 )
 
-// Graph is an attributed, undirected simple graph. See the methods on
-// *Graph for construction, mutation and measurement.
+// Graph is an attributed, undirected simple graph in immutable
+// compressed-sparse-row form. A Graph never changes after construction and is
+// safe for unrestricted concurrent use; build or modify graphs through a
+// GraphBuilder and finalize it into a Graph.
 type Graph = graph.Graph
+
+// GraphBuilder is the mutable construction phase of a Graph: add or remove
+// edges and set attributes, then call Finalize to freeze the result into an
+// immutable CSR Graph.
+type GraphBuilder = graph.Builder
 
 // AttrVector is a node's binary attribute vector, stored as a bitmask.
 type AttrVector = graph.AttrVector
@@ -57,6 +64,10 @@ type DatasetProfile = datasets.Profile
 // NewGraph returns an empty attributed graph with n nodes and w binary
 // attributes per node.
 func NewGraph(n, w int) *Graph { return graph.New(n, w) }
+
+// NewGraphBuilder returns a mutable builder for a graph with n nodes and w
+// binary attributes per node; call Finalize to obtain the immutable Graph.
+func NewGraphBuilder(n, w int) *GraphBuilder { return graph.NewBuilder(n, w) }
 
 // LoadGraph reads an attributed graph from a file in the library's
 // self-describing text format (see SaveGraph).

@@ -17,10 +17,11 @@ func testGraph(t *testing.T) *Graph {
 }
 
 func TestNewGraphAndRoundTrip(t *testing.T) {
-	g := NewGraph(4, 2)
-	g.AddEdge(0, 1)
-	g.AddEdge(1, 2)
-	g.SetAttr(0, 3)
+	b := NewGraphBuilder(4, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetAttr(0, 3)
+	g := b.Finalize()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.txt")
 	if err := SaveGraph(g, path); err != nil {

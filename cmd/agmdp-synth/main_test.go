@@ -13,13 +13,14 @@ import (
 func writeFixture(t *testing.T) string {
 	t.Helper()
 	rng := dp.NewRand(3)
-	g := agmdp.NewGraph(80, 2)
+	b := agmdp.NewGraphBuilder(80, 2)
 	for i := 0; i < 300; i++ {
-		g.AddEdge(rng.Intn(80), rng.Intn(80))
+		b.AddEdge(rng.Intn(80), rng.Intn(80))
 	}
 	for i := 0; i < 80; i++ {
-		g.SetAttr(i, agmdp.AttrVector(rng.Intn(4)))
+		b.SetAttr(i, agmdp.AttrVector(rng.Intn(4)))
 	}
+	g := b.Finalize()
 	path := filepath.Join(t.TempDir(), "input.txt")
 	if err := agmdp.SaveGraph(g, path); err != nil {
 		t.Fatal(err)

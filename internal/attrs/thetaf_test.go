@@ -14,22 +14,22 @@ import (
 // ΘF carries real signal for the estimators to recover.
 func homophilousGraph(seed int64, n, w int, pSame, pDiff float64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n, w)
+	b := graph.NewBuilder(n, w)
 	for i := 0; i < n; i++ {
-		g.SetAttr(i, graph.AttrVector(rng.Intn(NumNodeConfigs(w))))
+		b.SetAttr(i, graph.AttrVector(rng.Intn(NumNodeConfigs(w))))
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			p := pDiff
-			if NodeConfig(g.Attr(i), w) == NodeConfig(g.Attr(j), w) {
+			if NodeConfig(b.Attr(i), w) == NodeConfig(b.Attr(j), w) {
 				p = pSame
 			}
 			if rng.Float64() < p {
-				g.AddEdge(i, j)
+				b.AddEdge(i, j)
 			}
 		}
 	}
-	return g
+	return b.Finalize()
 }
 
 func meanAbsError(a, b []float64) float64 {

@@ -9,11 +9,11 @@ import (
 )
 
 func attributedGraph(n, w int, configOf func(i int) int) *graph.Graph {
-	g := graph.New(n, w)
+	b := graph.NewBuilder(n, w)
 	for i := 0; i < n; i++ {
-		g.SetAttr(i, graph.AttrVector(configOf(i)))
+		b.SetAttr(i, graph.AttrVector(configOf(i)))
 	}
-	return g
+	return b.Finalize()
 }
 
 func TestNodeConfigCounts(t *testing.T) {

@@ -13,14 +13,14 @@ import (
 func serializeFixture(t *testing.T) *FittedModel {
 	t.Helper()
 	rng := dp.NewRand(11)
-	g := graph.New(40, 2)
+	b := graph.NewBuilder(40, 2)
 	for i := 0; i < 120; i++ {
-		g.AddEdge(rng.Intn(40), rng.Intn(40))
+		b.AddEdge(rng.Intn(40), rng.Intn(40))
 	}
 	for i := 0; i < 40; i++ {
-		g.SetAttr(i, graph.AttrVector(rng.Intn(4)))
+		b.SetAttr(i, graph.AttrVector(rng.Intn(4)))
 	}
-	m, err := FitDP(dp.NewRand(3), g, Config{Epsilon: 1.0})
+	m, err := FitDP(dp.NewRand(3), b.Finalize(), Config{Epsilon: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -155,9 +155,9 @@ func clampMin(v, lo int) int {
 // statistics are recorded by the experiment harness.
 func Generate(rng *rand.Rand, p Profile) *graph.Graph {
 	w := p.NumAttributes()
-	g := graph.New(p.Nodes, w)
+	g := graph.NewBuilder(p.Nodes, w)
 	if p.Nodes < 2 {
-		return g
+		return g.Finalize()
 	}
 
 	// Phase 1: attributes.
@@ -253,16 +253,16 @@ func Generate(rng *rand.Rand, p Profile) *graph.Graph {
 	for g.NumEdges() < p.Edges && attempts < maxAttempts {
 		attempts++
 		u := samplePool(rng, globalPool)
-		nu := g.Neighbors(u)
+		nu := g.NeighborsView(u)
 		if len(nu) == 0 {
 			continue
 		}
-		k := nu[rng.Intn(len(nu))]
-		nk := g.Neighbors(k)
+		k := int(nu[rng.Intn(len(nu))])
+		nk := g.NeighborsView(k)
 		if len(nk) == 0 {
 			continue
 		}
-		v := nk[rng.Intn(len(nk))]
+		v := int(nk[rng.Intn(len(nk))])
 		if u == v || g.HasEdge(u, v) {
 			continue
 		}
@@ -272,7 +272,7 @@ func Generate(rng *rand.Rand, p Profile) *graph.Graph {
 		g.AddEdge(u, v)
 	}
 
-	return g
+	return g.Finalize()
 }
 
 // groupConfigs returns the set of attribute configurations present.

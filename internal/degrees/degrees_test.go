@@ -123,11 +123,11 @@ func TestIsotonicNotWorseThanConstantFitProperty(t *testing.T) {
 }
 
 func starGraph(n int) *graph.Graph {
-	g := graph.New(n, 0)
+	b := graph.NewBuilder(n, 0)
 	for i := 1; i < n; i++ {
-		g.AddEdge(0, i)
+		b.AddEdge(0, i)
 	}
-	return g
+	return b.Finalize()
 }
 
 func TestPrivateSequenceShapeAndRange(t *testing.T) {

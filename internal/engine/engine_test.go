@@ -15,14 +15,14 @@ import (
 func fixtureModel(t testing.TB) *core.FittedModel {
 	t.Helper()
 	rng := dp.NewRand(42)
-	g := graph.New(60, 2)
+	b := graph.NewBuilder(60, 2)
 	for i := 0; i < 200; i++ {
-		g.AddEdge(rng.Intn(60), rng.Intn(60))
+		b.AddEdge(rng.Intn(60), rng.Intn(60))
 	}
 	for i := 0; i < 60; i++ {
-		g.SetAttr(i, graph.AttrVector(rng.Intn(4)))
+		b.SetAttr(i, graph.AttrVector(rng.Intn(4)))
 	}
-	return core.Fit(g, nil)
+	return core.Fit(b.Finalize(), nil)
 }
 
 func TestSampleSeededDeterministicAcrossWorkerCounts(t *testing.T) {

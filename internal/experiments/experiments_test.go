@@ -30,10 +30,11 @@ func TestCompareGraphsDetectsStructureLoss(t *testing.T) {
 	g := datasets.Generate(dp.NewRand(2), p.Scaled(0.2))
 	// A star graph over the same nodes: no triangles, completely different
 	// degree distribution.
-	broken := graph.New(g.NumNodes(), g.NumAttributes())
-	for i := 1; i < broken.NumNodes(); i++ {
-		broken.AddEdge(0, i)
+	brokenB := graph.NewBuilder(g.NumNodes(), g.NumAttributes())
+	for i := 1; i < brokenB.NumNodes(); i++ {
+		brokenB.AddEdge(0, i)
 	}
+	broken := brokenB.Finalize()
 	m := CompareGraphs(g, broken)
 	if m.MRETriangles < 0.9 {
 		t.Fatalf("triangle MRE = %v, want ≈ 1 for a triangle-free synthetic graph", m.MRETriangles)

@@ -1,0 +1,188 @@
+package graph_test
+
+// Benchmarks for the CSR refactor, each paired with its pre-refactor
+// map-adjacency baseline (mapAdjGraph, in reference_test.go) so the speedup
+// is measured inside one binary on identical inputs. The shared fixture is a
+// 10k-node Chung–Lu graph with a heavy-tailed degree sequence, the workload
+// the paper's pipeline actually runs on. scripts/bench.sh records the results
+// in BENCH_pr2.json.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/structural"
+	"agmdp/internal/triangles"
+)
+
+const benchNodes = 10000
+
+var (
+	benchOnce  sync.Once
+	benchCSR   *graph.Graph
+	benchMap   *mapAdjGraph
+	benchEdges []graph.Edge
+)
+
+// benchDegrees returns a heavy-tailed (Pareto-ish, α ≈ 2) degree sequence
+// with an even sum, the shape Chung–Lu models are used with.
+func benchDegrees(rng *rand.Rand, n, maxDeg int) []int {
+	degs := make([]int, n)
+	total := 0
+	for i := range degs {
+		u := rng.Float64()
+		d := int(math.Ceil(1 / (1 - u*(1-1/float64(maxDeg)))))
+		if d > maxDeg {
+			d = maxDeg
+		}
+		degs[i] = d
+		total += d
+	}
+	if total%2 == 1 {
+		degs[0]++
+	}
+	return degs
+}
+
+// benchFixture lazily builds the shared 10k-node Chung–Lu graph in CSR form,
+// its edge list, and the equivalent map-adjacency graph.
+func benchFixture() (*graph.Graph, *mapAdjGraph, []graph.Edge) {
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(1))
+		degs := benchDegrees(rng, benchNodes, 300)
+		sampler := structural.NewNodeSampler(degs, nil)
+		target := 0
+		for _, d := range degs {
+			target += d
+		}
+		target /= 2
+		benchCSR = structural.GenerateCL(rng, benchNodes, sampler, target, nil)
+		benchEdges = benchCSR.Edges()
+		benchMap = newMapAdjGraph(benchNodes, 0)
+		for _, e := range benchEdges {
+			benchMap.addEdge(e.U, e.V)
+		}
+	})
+	return benchCSR, benchMap, benchEdges
+}
+
+func BenchmarkBuildBuilderFinalize(b *testing.B) {
+	_, _, edges := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := graph.NewBuilder(benchNodes, 0)
+		for _, e := range edges {
+			bl.AddEdge(e.U, e.V)
+		}
+		if bl.Finalize().NumEdges() != len(edges) {
+			b.Fatal("edge count mismatch")
+		}
+	}
+}
+
+func BenchmarkBuildFromEdges(b *testing.B) {
+	_, _, edges := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if graph.FromEdges(benchNodes, 0, edges).NumEdges() != len(edges) {
+			b.Fatal("edge count mismatch")
+		}
+	}
+}
+
+func BenchmarkBuildMapBaseline(b *testing.B) {
+	_, _, edges := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := newMapAdjGraph(benchNodes, 0)
+		for _, e := range edges {
+			m.addEdge(e.U, e.V)
+		}
+		if m.m != len(edges) {
+			b.Fatal("edge count mismatch")
+		}
+	}
+}
+
+func BenchmarkTrianglesCSR(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Triangles()
+	}
+}
+
+func BenchmarkTrianglesMapBaseline(b *testing.B) {
+	_, m, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.triangles()
+	}
+}
+
+func BenchmarkMaxCommonNeighborsCSR(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = triangles.MaxCommonNeighbors(g)
+	}
+}
+
+func BenchmarkMaxCommonNeighborsMapBaseline(b *testing.B) {
+	_, m, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.maxCommonNeighbors()
+	}
+}
+
+func BenchmarkHasEdgeCSR(b *testing.B) {
+	g, _, edges := benchFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if !g.HasEdge(e.U, e.V) {
+			b.Fatal("edge missing")
+		}
+	}
+}
+
+// BenchmarkGenerateCLParallel measures the end-to-end Chung–Lu generation
+// path — proposal streams, dedup, CSR packing — at several worker counts.
+// On a single-core host the variants coincide; the parallel win shows on
+// multi-core hardware.
+func BenchmarkGenerateCLParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	degs := benchDegrees(rng, benchNodes, 300)
+	sampler := structural.NewNodeSampler(degs, nil)
+	target := 0
+	for _, d := range degs {
+		target += d
+	}
+	target /= 2
+	for _, workers := range []int{1, 4} {
+		name := "workers=1"
+		if workers > 1 {
+			name = "workers=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := structural.GenerateCLParallel(rand.New(rand.NewSource(int64(i))), benchNodes, sampler, target, nil, workers)
+				if g.NumEdges() == 0 {
+					b.Fatal("no edges generated")
+				}
+			}
+		})
+	}
+}

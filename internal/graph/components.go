@@ -1,10 +1,9 @@
 package graph
 
-// ConnectedComponents returns the node sets of the connected components of the
-// graph. Components are returned in descending order of size; singleton nodes
-// form their own components.
-func (g *Graph) ConnectedComponents() [][]int {
-	n := len(g.adj)
+// connectedComponents is the shared BFS used by both Graph and Builder; row
+// must return node u's neighbour list (sortedness is not required here).
+// Components are returned in descending order of size.
+func connectedComponents(n int, row func(u int) []int32) [][]int {
 	comp := make([]int, n)
 	for i := range comp {
 		comp[i] = -1
@@ -23,7 +22,8 @@ func (g *Graph) ConnectedComponents() [][]int {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for v := range g.adj[u] {
+			for _, v32 := range row(u) {
+				v := int(v32)
 				if comp[v] < 0 {
 					comp[v] = id
 					members = append(members, v)
@@ -45,6 +45,32 @@ func (g *Graph) ConnectedComponents() [][]int {
 	return components
 }
 
+// orphanedNodes is the shared implementation of OrphanedNodes.
+func orphanedNodes(n int, row func(u int) []int32) []int {
+	if n == 0 {
+		return nil
+	}
+	comps := connectedComponents(n, row)
+	inMain := make([]bool, n)
+	for _, v := range comps[0] {
+		inMain[v] = true
+	}
+	var orphans []int
+	for i := 0; i < n; i++ {
+		if !inMain[i] {
+			orphans = append(orphans, i)
+		}
+	}
+	return orphans
+}
+
+// ConnectedComponents returns the node sets of the connected components of the
+// graph. Components are returned in descending order of size; singleton nodes
+// form their own components.
+func (g *Graph) ConnectedComponents() [][]int {
+	return connectedComponents(len(g.attrs), g.row)
+}
+
 // LargestComponent returns the node IDs of the largest connected component.
 // For an empty graph it returns an empty slice.
 func (g *Graph) LargestComponent() []int {
@@ -58,10 +84,10 @@ func (g *Graph) LargestComponent() []int {
 // IsConnected reports whether the graph consists of a single connected
 // component (the empty graph and the single-node graph are connected).
 func (g *Graph) IsConnected() bool {
-	if len(g.adj) <= 1 {
+	if len(g.attrs) <= 1 {
 		return true
 	}
-	return len(g.LargestComponent()) == len(g.adj)
+	return len(g.LargestComponent()) == len(g.attrs)
 }
 
 // OrphanedNodes returns all nodes that are not part of the largest connected
@@ -70,21 +96,7 @@ func (g *Graph) IsConnected() bool {
 // connected, so any node outside the main component of a synthetic graph is an
 // orphan, including isolated nodes and nodes in small satellite components.
 func (g *Graph) OrphanedNodes() []int {
-	if len(g.adj) == 0 {
-		return nil
-	}
-	main := g.LargestComponent()
-	inMain := make([]bool, len(g.adj))
-	for _, v := range main {
-		inMain[v] = true
-	}
-	var orphans []int
-	for i := range g.adj {
-		if !inMain[i] {
-			orphans = append(orphans, i)
-		}
-	}
-	return orphans
+	return orphanedNodes(len(g.attrs), g.row)
 }
 
 // InducedSubgraph returns the subgraph induced by the given node set, together
@@ -92,25 +104,27 @@ func (g *Graph) OrphanedNodes() []int {
 // Attribute vectors are carried over. Duplicate node IDs in the input are
 // collapsed.
 func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
-	seen := make(map[int]int, len(nodes))
+	newID := make(map[int]int, len(nodes))
 	orig := make([]int, 0, len(nodes))
 	for _, v := range nodes {
 		g.validNode(v)
-		if _, ok := seen[v]; ok {
+		if _, ok := newID[v]; ok {
 			continue
 		}
-		seen[v] = len(orig)
+		newID[v] = len(orig)
 		orig = append(orig, v)
 	}
-	sub := New(len(orig), g.w)
-	for newID, v := range orig {
-		sub.SetAttr(newID, g.attrs[v])
-		for u := range g.adj[v] {
-			if newU, ok := seen[u]; ok && newID < newU {
-				sub.AddEdge(newID, newU)
+	var edges []Edge
+	vecs := make([]AttrVector, len(orig))
+	for id, v := range orig {
+		vecs[id] = g.attrs[v]
+		for _, u32 := range g.row(v) {
+			if idU, ok := newID[int(u32)]; ok && id < idU {
+				edges = append(edges, Edge{U: id, V: idU})
 			}
 		}
 	}
+	sub := FromEdges(len(orig), g.w, edges).WithAttributes(g.w, vecs)
 	return sub, orig
 }
 

@@ -6,17 +6,22 @@ import (
 	"testing/quick"
 )
 
-// twoComponents returns a graph with a 4-node cycle {0..3}, a 3-node path
-// {4,5,6} and an isolated node 7.
+// twoComponentsB returns a Builder holding a 4-node cycle {0..3}, a 3-node
+// path {4,5,6} and an isolated node 7.
+func twoComponentsB() *Builder {
+	b := NewBuilder(8, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	return b
+}
+
+// twoComponents returns the finalized CSR form of the same graph.
 func twoComponents() *Graph {
-	g := New(8, 1)
-	g.AddEdge(0, 1)
-	g.AddEdge(1, 2)
-	g.AddEdge(2, 3)
-	g.AddEdge(3, 0)
-	g.AddEdge(4, 5)
-	g.AddEdge(5, 6)
-	return g
+	return twoComponentsB().Finalize()
 }
 
 func TestConnectedComponentsSizesAndOrder(t *testing.T) {
@@ -81,9 +86,10 @@ func TestOrphanedNodes(t *testing.T) {
 }
 
 func TestInducedSubgraph(t *testing.T) {
-	g := buildTriangleWithTail()
-	g.SetAttr(0, 1)
-	g.SetAttr(2, 3)
+	b := buildTriangleWithTailB()
+	b.SetAttr(0, 1)
+	b.SetAttr(2, 3)
+	g := b.Finalize()
 	sub, orig := g.InducedSubgraph([]int{0, 1, 2})
 	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
 		t.Fatalf("induced subgraph has %d nodes, %d edges; want 3, 3", sub.NumNodes(), sub.NumEdges())
@@ -113,9 +119,9 @@ func TestInducedSubgraphCollapsesDuplicates(t *testing.T) {
 }
 
 func TestRelabelToLargestComponent(t *testing.T) {
-	g := twoComponents()
-	g.SetAttr(2, 1)
-	main, orig := g.RelabelToLargestComponent()
+	b := twoComponentsB()
+	b.SetAttr(2, 1)
+	main, orig := b.Finalize().RelabelToLargestComponent()
 	if main.NumNodes() != 4 || main.NumEdges() != 4 {
 		t.Fatalf("main component has %d nodes / %d edges, want 4 / 4", main.NumNodes(), main.NumEdges())
 	}

@@ -9,6 +9,25 @@
 // setting of w binary attributes (non-binary attributes are handled upstream
 // by binarisation, exactly as the paper prescribes in Section 7).
 //
+// # Builder → CSR lifecycle
+//
+// The package follows a two-phase design. Graphs are constructed and mutated
+// through a Builder, whose adjacency is kept as per-node sorted slices so that
+// construction stays deterministic; Builder.Finalize then freezes the topology
+// into a Graph, an immutable compressed-sparse-row (CSR) representation:
+//
+//	offsets   []int64 — row i occupies neighbors[offsets[i]:offsets[i+1]]
+//	neighbors []int32 — concatenated neighbour lists, sorted within each row
+//
+// The immutability contract: a finalized Graph never changes. There are no
+// mutating methods on Graph — every "derived" graph operation (Truncate,
+// InducedSubgraph, WithAttributes, ...) returns a new Graph, and any Graph may
+// therefore be shared freely across goroutines without synchronisation.
+// Because rows are sorted, edge membership is a binary search and all
+// neighbourhood intersections (triangle and wedge counting, clustering,
+// common-neighbour queries) run as cache-friendly sorted merges instead of
+// hash probes.
+//
 // The package also provides the structural measurements the paper relies on:
 // degree sequences, triangle and wedge counts, local and global clustering
 // coefficients, connected components, induced subgraphs and the edge
@@ -17,6 +36,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -43,6 +63,14 @@ func (a AttrVector) WithBit(j int, v uint8) AttrVector {
 	return a | (1 << uint(j))
 }
 
+// maskWidth clears the bits of a above width w.
+func (a AttrVector) maskWidth(w int) AttrVector {
+	if w < MaxAttributes {
+		return a & ((1 << uint(w)) - 1)
+	}
+	return a
+}
+
 // Edge is an undirected edge between nodes U and V. The canonical form has
 // U < V; use Canonical to normalise.
 type Edge struct {
@@ -57,41 +85,48 @@ func (e Edge) Canonical() Edge {
 	return e
 }
 
-// Graph is an attributed, undirected simple graph.
+// Graph is an attributed, undirected simple graph in immutable CSR form.
 //
-// The zero value is not usable; construct graphs with New or the loaders in
-// this package. Graph is not safe for concurrent mutation; concurrent readers
-// are safe once construction is complete.
+// The zero value is not usable; construct graphs with a Builder, with New /
+// FromEdges, or with the loaders in this package. A Graph never changes after
+// construction, so it is safe for unrestricted concurrent use. To derive a
+// modified graph, obtain a mutable copy with Builder() and finalize it again.
 type Graph struct {
-	w     int
-	m     int
-	adj   []map[int]struct{}
-	attrs []AttrVector
+	w         int
+	m         int
+	offsets   []int64
+	neighbors []int32
+	attrs     []AttrVector
 }
 
-// New returns an empty graph with n nodes, no edges, and w binary attributes
-// per node (all initialised to zero). It panics if n < 0 or w is outside
-// [0, MaxAttributes].
-func New(n, w int) *Graph {
+// checkDims panics when the node count or attribute width is out of range.
+func checkDims(n, w int) {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	if n > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: node count %d exceeds the int32 ID space", n))
 	}
 	if w < 0 || w > MaxAttributes {
 		panic(fmt.Sprintf("graph: attribute width %d outside [0, %d]", w, MaxAttributes))
 	}
-	g := &Graph{
-		w:     w,
-		adj:   make([]map[int]struct{}, n),
-		attrs: make([]AttrVector, n),
+}
+
+// New returns an empty immutable graph with n nodes, no edges, and w binary
+// attributes per node (all initialised to zero). It panics if n < 0 or w is
+// outside [0, MaxAttributes]. To build a graph with edges, use NewBuilder or
+// FromEdges.
+func New(n, w int) *Graph {
+	checkDims(n, w)
+	return &Graph{
+		w:       w,
+		offsets: make([]int64, n+1),
+		attrs:   make([]AttrVector, n),
 	}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]struct{})
-	}
-	return g
 }
 
 // NumNodes returns the number of nodes n.
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int { return len(g.attrs) }
 
 // NumEdges returns the number of undirected edges m.
 func (g *Graph) NumEdges() int { return g.m }
@@ -101,75 +136,64 @@ func (g *Graph) NumAttributes() int { return g.w }
 
 // validNode panics if i is not a valid node ID.
 func (g *Graph) validNode(i int) {
-	if i < 0 || i >= len(g.adj) {
-		panic(fmt.Sprintf("graph: node %d out of range [0, %d)", i, len(g.adj)))
+	if i < 0 || i >= len(g.attrs) {
+		panic(fmt.Sprintf("graph: node %d out of range [0, %d)", i, len(g.attrs)))
 	}
 }
 
-// AddEdge inserts the undirected edge {i, j}. It returns true if the edge was
-// added and false if it already existed or i == j (self loops are ignored,
-// keeping the graph simple).
-func (g *Graph) AddEdge(i, j int) bool {
+// row returns node i's neighbour row as a shared CSR slice.
+func (g *Graph) row(i int) []int32 {
+	return g.neighbors[g.offsets[i]:g.offsets[i+1]]
+}
+
+// HasEdge reports whether the undirected edge {i, j} exists. Rows are sorted,
+// so the check is a binary search over the smaller endpoint's row.
+func (g *Graph) HasEdge(i, j int) bool {
 	g.validNode(i)
 	g.validNode(j)
 	if i == j {
 		return false
 	}
-	if _, ok := g.adj[i][j]; ok {
-		return false
+	a, b := g.row(i), g.row(j)
+	if len(a) > len(b) {
+		a, j = b, i
 	}
-	g.adj[i][j] = struct{}{}
-	g.adj[j][i] = struct{}{}
-	g.m++
-	return true
-}
-
-// RemoveEdge deletes the undirected edge {i, j} if present and reports whether
-// an edge was removed.
-func (g *Graph) RemoveEdge(i, j int) bool {
-	g.validNode(i)
-	g.validNode(j)
-	if _, ok := g.adj[i][j]; !ok {
-		return false
-	}
-	delete(g.adj[i], j)
-	delete(g.adj[j], i)
-	g.m--
-	return true
-}
-
-// HasEdge reports whether the undirected edge {i, j} exists.
-func (g *Graph) HasEdge(i, j int) bool {
-	g.validNode(i)
-	g.validNode(j)
-	_, ok := g.adj[i][j]
-	return ok
+	return containsSorted(a, int32(j))
 }
 
 // Degree returns the degree d_i of node i.
 func (g *Graph) Degree(i int) int {
 	g.validNode(i)
-	return len(g.adj[i])
+	return int(g.offsets[i+1] - g.offsets[i])
 }
 
 // Neighbors returns the neighbour set Γ(i) as a freshly allocated, sorted
-// slice. Mutating the result does not affect the graph.
+// slice. Mutating the result does not affect the graph. Hot paths should
+// prefer NeighborsView, which does not allocate.
 func (g *Graph) Neighbors(i int) []int {
 	g.validNode(i)
-	out := make([]int, 0, len(g.adj[i]))
-	for v := range g.adj[i] {
-		out = append(out, v)
+	row := g.row(i)
+	out := make([]int, len(row))
+	for k, v := range row {
+		out[k] = int(v)
 	}
-	sort.Ints(out)
 	return out
 }
 
-// ForEachNeighbor calls fn for every neighbour of node i in unspecified order.
+// NeighborsView returns node i's sorted neighbour row as a view into the
+// graph's shared CSR storage. The slice is valid for the lifetime of the
+// graph and MUST NOT be modified by the caller.
+func (g *Graph) NeighborsView(i int) []int32 {
+	g.validNode(i)
+	return g.row(i)
+}
+
+// ForEachNeighbor calls fn for every neighbour of node i in ascending order.
 // Iteration stops early if fn returns false.
 func (g *Graph) ForEachNeighbor(i int, fn func(j int) bool) {
 	g.validNode(i)
-	for v := range g.adj[i] {
-		if !fn(v) {
+	for _, v := range g.row(i) {
+		if !fn(int(v)) {
 			return
 		}
 	}
@@ -181,16 +205,6 @@ func (g *Graph) Attr(i int) AttrVector {
 	return g.attrs[i]
 }
 
-// SetAttr assigns the attribute vector of node i. Bits above the graph's
-// attribute width are cleared.
-func (g *Graph) SetAttr(i int, a AttrVector) {
-	g.validNode(i)
-	if g.w < MaxAttributes {
-		a &= (1 << uint(g.w)) - 1
-	}
-	g.attrs[i] = a
-}
-
 // Attrs returns a copy of all node attribute vectors indexed by node ID.
 func (g *Graph) Attrs() []AttrVector {
 	out := make([]AttrVector, len(g.attrs))
@@ -198,33 +212,45 @@ func (g *Graph) Attrs() []AttrVector {
 	return out
 }
 
+// WithAttributes returns a graph that shares this graph's topology but has
+// attribute width w and the given attribute vectors (bits above w are
+// cleared). The receiver is unchanged; the topology arrays are shared, so the
+// call is O(n) regardless of the edge count. It panics if len(vecs) differs
+// from the node count.
+func (g *Graph) WithAttributes(w int, vecs []AttrVector) *Graph {
+	checkDims(len(g.attrs), w)
+	if len(vecs) != len(g.attrs) {
+		panic(fmt.Sprintf("graph: %d attribute vectors for %d nodes", len(vecs), len(g.attrs)))
+	}
+	attrs := make([]AttrVector, len(vecs))
+	for i, a := range vecs {
+		attrs[i] = a.maskWidth(w)
+	}
+	return &Graph{w: w, m: g.m, offsets: g.offsets, neighbors: g.neighbors, attrs: attrs}
+}
+
 // Edges returns every undirected edge exactly once, in the canonical ordering
 // used by the truncation operator: sorted by (min endpoint, max endpoint).
+// The CSR layout already stores rows sorted, so no sorting pass is needed.
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
-	for u := range g.adj {
-		for v := range g.adj[u] {
-			if u < v {
-				edges = append(edges, Edge{U: u, V: v})
+	for u := range g.attrs {
+		for _, v := range g.row(u) {
+			if int(v) > u {
+				edges = append(edges, Edge{U: u, V: int(v)})
 			}
 		}
 	}
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].U != edges[b].U {
-			return edges[a].U < edges[b].U
-		}
-		return edges[a].V < edges[b].V
-	})
 	return edges
 }
 
-// ForEachEdge calls fn once per undirected edge in unspecified order.
+// ForEachEdge calls fn once per undirected edge in canonical order.
 // Iteration stops early if fn returns false.
 func (g *Graph) ForEachEdge(fn func(u, v int) bool) {
-	for u := range g.adj {
-		for v := range g.adj[u] {
-			if u < v {
-				if !fn(u, v) {
+	for u := range g.attrs {
+		for _, v := range g.row(u) {
+			if int(v) > u {
+				if !fn(u, int(v)) {
 					return
 				}
 			}
@@ -232,61 +258,104 @@ func (g *Graph) ForEachEdge(fn func(u, v int) bool) {
 	}
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a graph equal to g. Because graphs are immutable the clone
+// shares the underlying storage; the call is O(1) and exists for API
+// compatibility with the pre-CSR mutable graph.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{
-		w:     g.w,
-		m:     g.m,
-		adj:   make([]map[int]struct{}, len(g.adj)),
-		attrs: make([]AttrVector, len(g.attrs)),
-	}
-	copy(c.attrs, g.attrs)
-	for i, nb := range g.adj {
-		c.adj[i] = make(map[int]struct{}, len(nb))
-		for v := range nb {
-			c.adj[i][v] = struct{}{}
-		}
-	}
-	return c
+	c := *g
+	return &c
 }
 
 // CloneStructure returns a copy of the graph with the same nodes and edges but
-// with all attribute vectors reset to zero.
+// with all attribute vectors reset to zero. The topology arrays are shared.
 func (g *Graph) CloneStructure() *Graph {
-	c := g.Clone()
-	for i := range c.attrs {
-		c.attrs[i] = 0
+	return &Graph{
+		w:         g.w,
+		m:         g.m,
+		offsets:   g.offsets,
+		neighbors: g.neighbors,
+		attrs:     make([]AttrVector, len(g.attrs)),
 	}
-	return c
 }
 
 // FromEdges builds a graph with n nodes and w attributes from an edge list.
-// Duplicate edges and self loops are silently dropped.
+// Duplicate edges and self loops are silently dropped. The edge list is
+// canonicalised, sorted and deduplicated once, then packed directly into CSR
+// form — the bulk-construction fast path used by the loaders and the parallel
+// generators.
 func FromEdges(n, w int, edges []Edge) *Graph {
-	g := New(n, w)
+	checkDims(n, w)
+	return fromCanonicalEdges(n, w, canonicalEdges(n, edges))
+}
+
+// canonicalEdges canonicalises, sorts and deduplicates an edge list, dropping
+// self loops. It panics on out-of-range endpoints.
+func canonicalEdges(n int, edges []Edge) []Edge {
+	clean := make([]Edge, 0, len(edges))
 	for _, e := range edges {
-		g.AddEdge(e.U, e.V)
+		if e.U == e.V {
+			continue
+		}
+		e = e.Canonical()
+		if e.U < 0 || e.V >= n {
+			panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0, %d)", e.U, e.V, n))
+		}
+		clean = append(clean, e)
+	}
+	sort.Slice(clean, func(a, b int) bool {
+		if clean[a].U != clean[b].U {
+			return clean[a].U < clean[b].U
+		}
+		return clean[a].V < clean[b].V
+	})
+	// Deduplicate in place (the slice is sorted, so duplicates are adjacent).
+	uniq := clean[:0]
+	for i, e := range clean {
+		if i == 0 || e != clean[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	return uniq
+}
+
+// fromCanonicalEdges packs a sorted, deduplicated, self-loop-free canonical
+// edge list into CSR form. Each row comes out sorted without a per-row sort:
+// row u first receives its smaller neighbours (from edges (a, u), a ascending)
+// and then its larger neighbours (from edges (u, v), v ascending).
+func fromCanonicalEdges(n, w int, edges []Edge) *Graph {
+	g := &Graph{
+		w:       w,
+		m:       len(edges),
+		offsets: make([]int64, n+1),
+		attrs:   make([]AttrVector, n),
+	}
+	deg := make([]int64, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for i, d := range deg {
+		g.offsets[i+1] = g.offsets[i] + d
+	}
+	g.neighbors = make([]int32, g.offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, g.offsets[:n])
+	for _, e := range edges {
+		g.neighbors[cursor[e.U]] = int32(e.V)
+		cursor[e.U]++
+		g.neighbors[cursor[e.V]] = int32(e.U)
+		cursor[e.V]++
 	}
 	return g
 }
 
 // CommonNeighbors returns |Γ(i) ∩ Γ(j)|, the number of common neighbours of i
-// and j. The smaller adjacency set is scanned, so the cost is
-// O(min(d_i, d_j)).
+// and j, via a sorted-merge intersection of the two rows (with a binary-search
+// fallback when the degrees are heavily skewed).
 func (g *Graph) CommonNeighbors(i, j int) int {
 	g.validNode(i)
 	g.validNode(j)
-	a, b := g.adj[i], g.adj[j]
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	cn := 0
-	for v := range a {
-		if _, ok := b[v]; ok {
-			cn++
-		}
-	}
-	return cn
+	return intersectCount(g.row(i), g.row(j))
 }
 
 // Equal reports whether g and h have identical node counts, attribute widths,
@@ -295,18 +364,88 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.NumNodes() != h.NumNodes() || g.w != h.w || g.m != h.m {
 		return false
 	}
-	for i := range g.adj {
+	for i := range g.attrs {
 		if g.attrs[i] != h.attrs[i] {
 			return false
 		}
-		if len(g.adj[i]) != len(h.adj[i]) {
+		if g.offsets[i+1]-g.offsets[i] != h.offsets[i+1]-h.offsets[i] {
 			return false
 		}
-		for v := range g.adj[i] {
-			if _, ok := h.adj[i][v]; !ok {
-				return false
-			}
+	}
+	for k := range g.neighbors {
+		if g.neighbors[k] != h.neighbors[k] {
+			return false
 		}
 	}
 	return true
+}
+
+// containsSorted reports whether v occurs in the sorted row.
+func containsSorted(row []int32, v int32) bool {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == v
+}
+
+// skewFactor is the degree ratio beyond which intersectCount switches from a
+// linear merge to binary-searching the smaller row's entries in the larger
+// row: d_small · log2(d_large) beats d_small + d_large when the rows are
+// lopsided.
+const skewFactor = 16
+
+// intersectCount returns the size of the intersection of two sorted rows.
+func intersectCount(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	cn := 0
+	if len(b) > skewFactor*len(a) {
+		for _, v := range a {
+			// Shrink the search window as matches advance: entries of a are
+			// ascending, so earlier prefix of b can be discarded.
+			lo, hi := 0, len(b)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if b[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(b) && b[lo] == v {
+				cn++
+				b = b[lo+1:]
+			} else {
+				b = b[lo:]
+			}
+			if len(b) == 0 {
+				break
+			}
+		}
+		return cn
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		if ai == bj {
+			cn++
+			i++
+			j++
+		} else if ai < bj {
+			i++
+		} else {
+			j++
+		}
+	}
+	return cn
 }

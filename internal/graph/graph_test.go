@@ -6,35 +6,40 @@ import (
 	"testing/quick"
 )
 
-// buildTriangleWithTail returns the 5-node graph
+// buildTriangleWithTailB returns a Builder holding the 5-node graph
 //
 //	0-1, 1-2, 2-0 (a triangle), 2-3, 3-4 (a tail)
 //
 // used by several tests.
+func buildTriangleWithTailB() *Builder {
+	b := NewBuilder(5, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	return b
+}
+
+// buildTriangleWithTail returns the finalized CSR form of the same graph.
 func buildTriangleWithTail() *Graph {
-	g := New(5, 2)
-	g.AddEdge(0, 1)
-	g.AddEdge(1, 2)
-	g.AddEdge(2, 0)
-	g.AddEdge(2, 3)
-	g.AddEdge(3, 4)
-	return g
+	return buildTriangleWithTailB().Finalize()
 }
 
 // randomGraph returns an Erdős–Rényi style random graph used as fuzz input.
 func randomGraph(rng *rand.Rand, n int, p float64, w int) *Graph {
-	g := New(n, w)
+	b := NewBuilder(n, w)
 	for i := 0; i < n; i++ {
 		if w > 0 {
-			g.SetAttr(i, AttrVector(rng.Uint64()))
+			b.SetAttr(i, AttrVector(rng.Uint64()))
 		}
 		for j := i + 1; j < n; j++ {
 			if rng.Float64() < p {
-				g.AddEdge(i, j)
+				b.AddEdge(i, j)
 			}
 		}
 	}
-	return g
+	return b.Finalize()
 }
 
 func TestNewGraphEmpty(t *testing.T) {
@@ -73,51 +78,14 @@ func TestNewPanicsOnBadArguments(t *testing.T) {
 			}()
 			New(tc.n, tc.w)
 		})
-	}
-}
-
-func TestAddEdgeBasics(t *testing.T) {
-	g := New(3, 0)
-	if !g.AddEdge(0, 1) {
-		t.Fatal("AddEdge(0,1) = false on first insertion")
-	}
-	if g.AddEdge(0, 1) {
-		t.Fatal("AddEdge(0,1) = true on duplicate insertion")
-	}
-	if g.AddEdge(1, 0) {
-		t.Fatal("AddEdge(1,0) = true on reversed duplicate insertion")
-	}
-	if g.AddEdge(2, 2) {
-		t.Fatal("AddEdge(2,2) = true for a self loop")
-	}
-	if g.NumEdges() != 1 {
-		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
-	}
-	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
-		t.Fatal("HasEdge should be symmetric")
-	}
-	if g.HasEdge(0, 2) {
-		t.Fatal("HasEdge(0,2) = true for a missing edge")
-	}
-}
-
-func TestRemoveEdge(t *testing.T) {
-	g := buildTriangleWithTail()
-	before := g.NumEdges()
-	if !g.RemoveEdge(1, 2) {
-		t.Fatal("RemoveEdge(1,2) = false for an existing edge")
-	}
-	if g.RemoveEdge(1, 2) {
-		t.Fatal("RemoveEdge(1,2) = true for an already-removed edge")
-	}
-	if g.NumEdges() != before-1 {
-		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), before-1)
-	}
-	if g.HasEdge(1, 2) || g.HasEdge(2, 1) {
-		t.Fatal("edge still present after removal")
-	}
-	if g.Degree(1) != 1 || g.Degree(2) != 2 {
-		t.Fatalf("degrees after removal = (%d,%d), want (1,2)", g.Degree(1), g.Degree(2))
+		t.Run(tc.name+" builder", func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBuilder(%d, %d) did not panic", tc.n, tc.w)
+				}
+			}()
+			NewBuilder(tc.n, tc.w)
+		})
 	}
 }
 
@@ -136,6 +104,28 @@ func TestDegreeAndNeighbors(t *testing.T) {
 			t.Fatalf("Neighbors(2) = %v, want %v (sorted)", nb, want)
 		}
 	}
+	view := g.NeighborsView(2)
+	if len(view) != len(want) {
+		t.Fatalf("NeighborsView(2) = %v, want %v", view, want)
+	}
+	for i := range want {
+		if int(view[i]) != want[i] {
+			t.Fatalf("NeighborsView(2) = %v, want %v (sorted)", view, want)
+		}
+	}
+}
+
+func TestHasEdgeOnGraph(t *testing.T) {
+	g := buildTriangleWithTail()
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 4) {
+		t.Fatal("HasEdge(0,4) = true for a missing edge")
+	}
+	if g.HasEdge(3, 3) {
+		t.Fatal("HasEdge(3,3) = true for a self loop")
+	}
 }
 
 func TestForEachNeighborEarlyStop(t *testing.T) {
@@ -151,20 +141,45 @@ func TestForEachNeighborEarlyStop(t *testing.T) {
 }
 
 func TestAttributesRoundTrip(t *testing.T) {
-	g := New(4, 2)
-	g.SetAttr(0, 0)
-	g.SetAttr(1, 1)
-	g.SetAttr(2, 2)
-	g.SetAttr(3, 3)
+	b := NewBuilder(4, 2)
+	b.SetAttr(0, 0)
+	b.SetAttr(1, 1)
+	b.SetAttr(2, 2)
+	b.SetAttr(3, 3)
+	g := b.Finalize()
 	for i := 0; i < 4; i++ {
 		if got := g.Attr(i); got != AttrVector(i) {
 			t.Fatalf("Attr(%d) = %d, want %d", i, got, i)
 		}
 	}
 	// Bits above the declared width must be masked off.
-	g.SetAttr(0, 0b1111)
-	if got := g.Attr(0); got != 0b11 {
+	b.SetAttr(0, 0b1111)
+	if got := b.Finalize().Attr(0); got != 0b11 {
 		t.Fatalf("Attr(0) = %b, want masked value 11", got)
+	}
+}
+
+func TestWithAttributes(t *testing.T) {
+	g := buildTriangleWithTail()
+	vecs := []AttrVector{0b111, 1, 2, 3, 0}
+	h := g.WithAttributes(2, vecs)
+	if h.NumEdges() != g.NumEdges() || h.NumNodes() != g.NumNodes() {
+		t.Fatal("WithAttributes changed the topology")
+	}
+	if h.Attr(0) != 0b11 {
+		t.Fatalf("Attr(0) = %b, want masked 11", h.Attr(0))
+	}
+	if h.Attr(3) != 3 {
+		t.Fatalf("Attr(3) = %d, want 3", h.Attr(3))
+	}
+	// The receiver keeps its own attributes.
+	if g.Attr(0) != 0 {
+		t.Fatal("WithAttributes mutated the receiver")
+	}
+	// Mutating the caller's slice afterwards must not leak into the graph.
+	vecs[1] = 0b10
+	if h.Attr(1) != 1 {
+		t.Fatal("WithAttributes aliased the caller's slice")
 	}
 }
 
@@ -213,27 +228,37 @@ func TestEdgeCanonical(t *testing.T) {
 	}
 }
 
-func TestCloneIndependence(t *testing.T) {
-	g := buildTriangleWithTail()
-	g.SetAttr(0, 3)
+func TestFinalizedGraphImmuneToBuilderMutation(t *testing.T) {
+	b := buildTriangleWithTailB()
+	b.SetAttr(0, 3)
+	g := b.Finalize()
 	c := g.Clone()
 	if !g.Equal(c) {
 		t.Fatal("clone not equal to original")
 	}
-	c.AddEdge(0, 4)
-	c.SetAttr(1, 1)
+	// Keep mutating the builder: the finalized graph must not change.
+	b.AddEdge(0, 4)
+	b.SetAttr(1, 1)
+	b.RemoveEdge(0, 1)
 	if g.HasEdge(0, 4) {
-		t.Fatal("mutating clone added edge to original")
+		t.Fatal("builder mutation added an edge to a finalized graph")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("builder mutation removed an edge from a finalized graph")
 	}
 	if g.Attr(1) != 0 {
-		t.Fatal("mutating clone changed original attributes")
+		t.Fatal("builder mutation changed a finalized graph's attributes")
+	}
+	if !g.Equal(c) {
+		t.Fatal("clone diverged from original after builder mutation")
 	}
 }
 
 func TestCloneStructureClearsAttributes(t *testing.T) {
-	g := buildTriangleWithTail()
-	g.SetAttr(0, 3)
-	g.SetAttr(4, 1)
+	b := buildTriangleWithTailB()
+	b.SetAttr(0, 3)
+	b.SetAttr(4, 1)
+	g := b.Finalize()
 	c := g.CloneStructure()
 	if c.NumEdges() != g.NumEdges() {
 		t.Fatalf("CloneStructure edges = %d, want %d", c.NumEdges(), g.NumEdges())
@@ -270,18 +295,18 @@ func TestCommonNeighbors(t *testing.T) {
 
 func TestEqualDetectsDifferences(t *testing.T) {
 	a := buildTriangleWithTail()
-	b := buildTriangleWithTail()
-	if !a.Equal(b) {
+	if !a.Equal(buildTriangleWithTail()) {
 		t.Fatal("identical graphs not Equal")
 	}
+	b := buildTriangleWithTailB()
 	b.SetAttr(0, 1)
-	if a.Equal(b) {
+	if a.Equal(b.Finalize()) {
 		t.Fatal("Equal ignored attribute difference")
 	}
-	b = buildTriangleWithTail()
+	b = buildTriangleWithTailB()
 	b.RemoveEdge(3, 4)
 	b.AddEdge(0, 4)
-	if a.Equal(b) {
+	if a.Equal(b.Finalize()) {
 		t.Fatal("Equal ignored edge difference")
 	}
 }
@@ -345,6 +370,49 @@ func TestForEachEdgeVisitsEachOnceProperty(t *testing.T) {
 		return len(seen) == g.NumEdges()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FromEdges and FromEdgesBuilder agree with incremental Builder
+// construction on the same (possibly messy) edge list, and the pre-populated
+// builder remains fully mutable.
+func TestFromEdgesMatchesBuilderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(20)
+		edges := make([]Edge, 60)
+		for i := range edges {
+			edges[i] = Edge{U: rng.Intn(n), V: rng.Intn(n)}
+		}
+		b := NewBuilder(n, 0)
+		for _, e := range edges {
+			b.AddEdge(e.U, e.V)
+		}
+		g := b.Finalize()
+		if !g.Equal(FromEdges(n, 0, edges)) {
+			return false
+		}
+		bulk := FromEdgesBuilder(n, 0, edges)
+		if !bulk.Finalize().Equal(g) {
+			return false
+		}
+		// The bulk builder must keep working as a normal builder.
+		u, v := rng.Intn(n), rng.Intn(n)
+		had := bulk.HasEdge(u, v)
+		if u != v {
+			if had {
+				bulk.RemoveEdge(u, v)
+			} else {
+				bulk.AddEdge(u, v)
+			}
+			if bulk.HasEdge(u, v) == had {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -46,8 +46,7 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 // arbitrary non-negative integers; the resulting graph has max(ID)+1 nodes and
 // zero attributes. Lines starting with '#' or '%' are ignored.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
-	type pair struct{ u, v int }
-	var pairs []pair
+	var pairs []Edge
 	maxID := -1
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -79,16 +78,14 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if v > maxID {
 			maxID = v
 		}
-		pairs = append(pairs, pair{u, v})
+		pairs = append(pairs, Edge{U: u, V: v})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
-	g := New(maxID+1, 0)
-	for _, p := range pairs {
-		g.AddEdge(p.u, p.v)
-	}
-	return g, nil
+	// FromEdges drops duplicates and self loops and packs the list into CSR
+	// form in one pass.
+	return FromEdges(maxID+1, 0, pairs), nil
 }
 
 // WriteGraph writes the full attributed graph (nodes, attributes and edges) in
@@ -111,11 +108,17 @@ func (g *Graph) WriteGraph(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadGraph parses the "agmdp graph" format produced by WriteGraph.
+// ReadGraph parses the "agmdp graph" format produced by WriteGraph. The node
+// and edge directives are accumulated and packed into an immutable CSR graph
+// once the whole stream has been validated.
 func ReadGraph(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	var g *Graph
+	var (
+		attrs []AttrVector
+		edges []Edge
+	)
+	haveBody := false
 	n, w := -1, -1
 	line := 0
 	for sc.Scan() {
@@ -145,11 +148,12 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: line %d: bad attribute width %q", line, fields[1])
 			}
 		case "node":
-			if g == nil {
-				if n < 0 || w < 0 {
-					return nil, fmt.Errorf("graph: line %d: node directive before nodes/attrs header", line)
-				}
-				g = New(n, w)
+			if n < 0 || w < 0 {
+				return nil, fmt.Errorf("graph: line %d: node directive before nodes/attrs header", line)
+			}
+			haveBody = true
+			if attrs == nil {
+				attrs = make([]AttrVector, n)
 			}
 			if len(fields) != 2+w {
 				return nil, fmt.Errorf("graph: line %d: node directive wants %d attribute bits", line, w)
@@ -166,14 +170,12 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 				}
 				a = a.WithBit(j, uint8(bit))
 			}
-			g.SetAttr(id, a)
+			attrs[id] = a
 		case "edge":
-			if g == nil {
-				if n < 0 || w < 0 {
-					return nil, fmt.Errorf("graph: line %d: edge directive before nodes/attrs header", line)
-				}
-				g = New(n, w)
+			if n < 0 || w < 0 {
+				return nil, fmt.Errorf("graph: line %d: edge directive before nodes/attrs header", line)
 			}
+			haveBody = true
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("graph: line %d: malformed edge directive", line)
 			}
@@ -188,7 +190,7 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 			if u < 0 || u >= n || v < 0 || v >= n {
 				return nil, fmt.Errorf("graph: line %d: edge endpoint out of range", line)
 			}
-			g.AddEdge(u, v)
+			edges = append(edges, Edge{U: u, V: v})
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
 		}
@@ -196,11 +198,12 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading graph: %w", err)
 	}
-	if g == nil {
-		if n < 0 || w < 0 {
-			return nil, fmt.Errorf("graph: missing nodes/attrs header")
-		}
-		g = New(n, w)
+	if !haveBody && (n < 0 || w < 0) {
+		return nil, fmt.Errorf("graph: missing nodes/attrs header")
+	}
+	g := FromEdges(n, w, edges)
+	if attrs != nil {
+		g = g.WithAttributes(w, attrs)
 	}
 	return g, nil
 }

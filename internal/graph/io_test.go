@@ -116,8 +116,9 @@ func TestReadGraphHeaderOnly(t *testing.T) {
 
 func TestSaveAndLoadGraphFiles(t *testing.T) {
 	dir := t.TempDir()
-	g := buildTriangleWithTail()
-	g.SetAttr(1, 2)
+	b := buildTriangleWithTailB()
+	b.SetAttr(1, 2)
+	g := b.Finalize()
 	p := filepath.Join(dir, "g.txt")
 	if err := SaveGraph(g, p); err != nil {
 		t.Fatalf("SaveGraph: %v", err)

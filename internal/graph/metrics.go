@@ -4,9 +4,9 @@ import "sort"
 
 // Degrees returns the degree of every node, indexed by node ID.
 func (g *Graph) Degrees() []int {
-	out := make([]int, len(g.adj))
-	for i := range g.adj {
-		out[i] = len(g.adj[i])
+	out := make([]int, len(g.attrs))
+	for i := range out {
+		out[i] = int(g.offsets[i+1] - g.offsets[i])
 	}
 	return out
 }
@@ -23,8 +23,8 @@ func (g *Graph) DegreeSequence() []int {
 // MaxDegree returns the largest node degree d_max (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for i := range g.adj {
-		if d := len(g.adj[i]); d > max {
+	for i := range g.attrs {
+		if d := int(g.offsets[i+1] - g.offsets[i]); d > max {
 			max = d
 		}
 	}
@@ -33,49 +33,101 @@ func (g *Graph) MaxDegree() int {
 
 // AverageDegree returns the mean node degree 2m/n (0 for an empty graph).
 func (g *Graph) AverageDegree() float64 {
-	if len(g.adj) == 0 {
+	if len(g.attrs) == 0 {
 		return 0
 	}
-	return 2 * float64(g.m) / float64(len(g.adj))
+	return 2 * float64(g.m) / float64(len(g.attrs))
 }
 
-// Triangles returns n∆, the number of distinct triangles in the graph. The
-// algorithm intersects adjacency sets along each edge, giving a cost of
-// O(Σ_{(u,v)∈E} min(d_u, d_v)).
+// Triangles returns n∆, the number of distinct triangles in the graph, using
+// the compact-forward algorithm: nodes are ranked by (degree, ID), each edge
+// is oriented from lower to higher rank, and each triangle is found exactly
+// once as a sorted-merge intersection of two forward neighbour lists. Because
+// forward degrees are bounded by O(√m), the intersections cost O(m^{3/2})
+// total even on heavy-tailed graphs where hub rows would otherwise dominate.
 func (g *Graph) Triangles() int64 {
-	var total int64
-	for u := range g.adj {
-		for v := range g.adj[u] {
-			if u < v {
-				total += int64(g.CommonNeighbors(u, v))
-			}
+	n := len(g.attrs)
+	if n == 0 || g.m == 0 {
+		return 0
+	}
+
+	// Rank nodes by (degree, ID) with a counting sort over degrees; iterating
+	// node IDs in ascending order breaks degree ties by ID for free.
+	maxDeg := 0
+	for i := 0; i < n; i++ {
+		if d := int(g.offsets[i+1] - g.offsets[i]); d > maxDeg {
+			maxDeg = d
 		}
 	}
-	// Each triangle is counted once per edge, i.e. three times.
-	return total / 3
-}
+	next := make([]int32, maxDeg+1)
+	for i := 0; i < n; i++ {
+		next[g.offsets[i+1]-g.offsets[i]]++
+	}
+	cum := int32(0)
+	for d := 0; d <= maxDeg; d++ {
+		c := next[d]
+		next[d] = cum
+		cum += c
+	}
+	rank := make([]int32, n)
+	for i := 0; i < n; i++ {
+		d := g.offsets[i+1] - g.offsets[i]
+		rank[i] = next[d]
+		next[d]++
+	}
 
-// TrianglesAt returns the number of triangles that include node i, i.e. the
-// number of edges among the neighbours of i.
-func (g *Graph) TrianglesAt(i int) int64 {
-	g.validNode(i)
-	var cnt int64
-	for u := range g.adj[i] {
-		for v := range g.adj[i] {
-			if u < v && g.HasEdge(u, v) {
+	// Forward CSR: row u keeps only neighbours of higher rank. Filtering a
+	// sorted row preserves its ID order, so the merge intersection still works.
+	foffsets := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		cnt := int64(0)
+		for _, v := range g.row(u) {
+			if rank[v] > rank[u] {
 				cnt++
 			}
 		}
+		foffsets[u+1] = foffsets[u] + cnt
 	}
-	return cnt
+	fneighbors := make([]int32, foffsets[n])
+	for u := 0; u < n; u++ {
+		k := foffsets[u]
+		for _, v := range g.row(u) {
+			if rank[v] > rank[u] {
+				fneighbors[k] = v
+				k++
+			}
+		}
+	}
+
+	var total int64
+	for u := 0; u < n; u++ {
+		fu := fneighbors[foffsets[u]:foffsets[u+1]]
+		for _, v := range fu {
+			total += int64(intersectCount(fu, fneighbors[foffsets[v]:foffsets[v+1]]))
+		}
+	}
+	return total
+}
+
+// TrianglesAt returns the number of triangles that include node i, i.e. the
+// number of edges among the neighbours of i. Each such edge {u, v} is found
+// twice (once from u's row, once from v's), hence the halving.
+func (g *Graph) TrianglesAt(i int) int64 {
+	g.validNode(i)
+	ri := g.row(i)
+	var cnt int64
+	for _, v := range ri {
+		cnt += int64(intersectCount(ri, g.row(int(v))))
+	}
+	return cnt / 2
 }
 
 // Wedges returns n_W, the number of length-two paths (wedges) in the graph:
 // Σ_i d_i·(d_i−1)/2.
 func (g *Graph) Wedges() int64 {
 	var total int64
-	for i := range g.adj {
-		d := int64(len(g.adj[i]))
+	for i := range g.attrs {
+		d := g.offsets[i+1] - g.offsets[i]
 		total += d * (d - 1) / 2
 	}
 	return total
@@ -86,7 +138,7 @@ func (g *Graph) Wedges() int64 {
 // Nodes of degree < 2 have coefficient 0 by convention.
 func (g *Graph) LocalClustering(i int) float64 {
 	g.validNode(i)
-	d := len(g.adj[i])
+	d := g.Degree(i)
 	if d < 2 {
 		return 0
 	}
@@ -99,29 +151,36 @@ func (g *Graph) LocalClustering(i int) float64 {
 // edges once, so it is much cheaper than calling LocalClustering per node on
 // large graphs.
 func (g *Graph) LocalClusteringAll() []float64 {
-	triPerNode := make([]int64, len(g.adj))
-	for u := range g.adj {
-		for v := range g.adj[u] {
+	triPerNode := make([]int64, len(g.attrs))
+	for u := range g.attrs {
+		ru := g.row(u)
+		for _, v32 := range ru {
+			v := int(v32)
 			if u >= v {
 				continue
 			}
 			// Every common neighbour w of u and v closes a triangle {u,v,w};
 			// credit it to w. Each triangle is credited to each of its three
 			// corners exactly once (when the opposite edge is processed).
-			a, b := g.adj[u], g.adj[v]
-			if len(a) > len(b) {
-				a, b = b, a
-			}
-			for w := range a {
-				if _, ok := b[w]; ok {
-					triPerNode[w]++
+			rv := g.row(v)
+			i, j := 0, 0
+			for i < len(ru) && j < len(rv) {
+				a, b := ru[i], rv[j]
+				if a == b {
+					triPerNode[a]++
+					i++
+					j++
+				} else if a < b {
+					i++
+				} else {
+					j++
 				}
 			}
 		}
 	}
-	out := make([]float64, len(g.adj))
-	for i := range g.adj {
-		d := len(g.adj[i])
+	out := make([]float64, len(g.attrs))
+	for i := range g.attrs {
+		d := g.Degree(i)
 		if d < 2 {
 			continue
 		}
@@ -133,7 +192,7 @@ func (g *Graph) LocalClusteringAll() []float64 {
 // AverageLocalClustering returns C̄, the mean of the local clustering
 // coefficients over all nodes.
 func (g *Graph) AverageLocalClustering() float64 {
-	if len(g.adj) == 0 {
+	if len(g.attrs) == 0 {
 		return 0
 	}
 	cc := g.LocalClusteringAll()
@@ -158,8 +217,8 @@ func (g *Graph) GlobalClustering() float64 {
 // that degree.
 func (g *Graph) DegreeHistogram() map[int]int {
 	h := make(map[int]int)
-	for i := range g.adj {
-		h[len(g.adj[i])]++
+	for i := range g.attrs {
+		h[g.Degree(i)]++
 	}
 	return h
 }

@@ -9,31 +9,31 @@ import (
 
 // complete returns the complete graph K_n.
 func complete(n int) *Graph {
-	g := New(n, 0)
+	b := NewBuilder(n, 0)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			g.AddEdge(i, j)
+			b.AddEdge(i, j)
 		}
 	}
-	return g
+	return b.Finalize()
 }
 
 // path returns the path graph P_n (n nodes, n-1 edges).
 func path(n int) *Graph {
-	g := New(n, 0)
+	b := NewBuilder(n, 0)
 	for i := 0; i+1 < n; i++ {
-		g.AddEdge(i, i+1)
+		b.AddEdge(i, i+1)
 	}
-	return g
+	return b.Finalize()
 }
 
 // star returns the star graph with one hub (node 0) and n-1 leaves.
 func star(n int) *Graph {
-	g := New(n, 0)
+	b := NewBuilder(n, 0)
 	for i := 1; i < n; i++ {
-		g.AddEdge(0, i)
+		b.AddEdge(0, i)
 	}
-	return g
+	return b.Finalize()
 }
 
 func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -241,8 +241,9 @@ func TestTriangleDeltaOnEdgeRemovalProperty(t *testing.T) {
 		e := edges[rng.Intn(len(edges))]
 		before := g.Triangles()
 		cn := int64(g.CommonNeighbors(e.U, e.V))
-		g.RemoveEdge(e.U, e.V)
-		after := g.Triangles()
+		b := g.Builder()
+		b.RemoveEdge(e.U, e.V)
+		after := b.Finalize().Triangles()
 		return before-after == cn
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {

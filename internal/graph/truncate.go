@@ -7,32 +7,35 @@ package graph
 // degree greater than k. The result is a k-bounded graph: every node has
 // degree at most k.
 //
-// The receiver is not modified; a new graph (sharing no storage with g) is
-// returned. Attribute vectors are preserved. Truncate panics if k < 0.
+// The receiver is immutable and unchanged; a new graph is returned. Instead of
+// materialising a mutable copy, the pass simulates the sequential deletions on
+// a degree array and packs the surviving edges (already in canonical order in
+// the CSR rows) straight into a new CSR graph. Attribute vectors are
+// preserved. Truncate panics if k < 0.
 func (g *Graph) Truncate(k int) *Graph {
 	if k < 0 {
 		panic("graph: negative truncation parameter")
 	}
-	out := g.Clone()
-	if k == 0 {
-		// Degree bound zero removes every edge.
-		for _, e := range out.Edges() {
-			out.RemoveEdge(e.U, e.V)
+	degs := g.Degrees()
+	kept := make([]Edge, 0, g.m)
+	g.ForEachEdge(func(u, v int) bool {
+		if degs[u] > k || degs[v] > k {
+			degs[u]--
+			degs[v]--
+			return true
 		}
-		return out
-	}
-	for _, e := range g.Edges() { // canonical order from the original graph
-		if out.Degree(e.U) > k || out.Degree(e.V) > k {
-			out.RemoveEdge(e.U, e.V)
-		}
-	}
+		kept = append(kept, Edge{U: u, V: v})
+		return true
+	})
+	out := fromCanonicalEdges(len(g.attrs), g.w, kept)
+	copy(out.attrs, g.attrs)
 	return out
 }
 
 // IsDegreeBounded reports whether every node has degree at most k.
 func (g *Graph) IsDegreeBounded(k int) bool {
-	for i := range g.adj {
-		if len(g.adj[i]) > k {
+	for i := range g.attrs {
+		if g.Degree(i) > k {
 			return false
 		}
 	}

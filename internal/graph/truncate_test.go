@@ -46,9 +46,10 @@ func TestTruncateDoesNotMutateInput(t *testing.T) {
 }
 
 func TestTruncatePreservesAttributes(t *testing.T) {
-	g := buildTriangleWithTail()
-	g.SetAttr(0, 3)
-	g.SetAttr(3, 1)
+	b := buildTriangleWithTailB()
+	b.SetAttr(0, 3)
+	b.SetAttr(3, 1)
+	g := b.Finalize()
 	tr := g.Truncate(1)
 	for i := 0; i < g.NumNodes(); i++ {
 		if tr.Attr(i) != g.Attr(i) {
@@ -137,10 +138,10 @@ func TestTruncateEdgeStabilityProperty(t *testing.T) {
 		if u == v || g.HasEdge(u, v) {
 			return true // dense corner case; skip
 		}
-		gPrime := g.Clone()
-		gPrime.AddEdge(u, v)
+		gb := g.Builder()
+		gb.AddEdge(u, v)
 		a := g.Truncate(k)
-		b := gPrime.Truncate(k)
+		b := gb.Finalize().Truncate(k)
 		return symmetricDifference(a, b) <= 3
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

@@ -16,14 +16,14 @@ import (
 func fixtureModel(t *testing.T, salt int64) *core.FittedModel {
 	t.Helper()
 	rng := dp.NewRand(100 + salt)
-	g := graph.New(30, 2)
+	b := graph.NewBuilder(30, 2)
 	for i := 0; i < 80; i++ {
-		g.AddEdge(rng.Intn(30), rng.Intn(30))
+		b.AddEdge(rng.Intn(30), rng.Intn(30))
 	}
 	for i := 0; i < 30; i++ {
-		g.SetAttr(i, graph.AttrVector(rng.Intn(4)))
+		b.SetAttr(i, graph.AttrVector(rng.Intn(4)))
 	}
-	return core.Fit(g, nil)
+	return core.Fit(b.Finalize(), nil)
 }
 
 func TestPutGetListEvict(t *testing.T) {

@@ -187,16 +187,21 @@ func (p *graphPayload) toGraph() (*graph.Graph, error) {
 	if p.Attrs != nil && len(p.Attrs) != p.N {
 		return nil, fmt.Errorf("got %d attribute vectors for %d nodes", len(p.Attrs), p.N)
 	}
-	g := graph.New(p.N, p.W)
+	edges := make([]graph.Edge, 0, len(p.Edges))
 	for i, e := range p.Edges {
 		u, v := e[0], e[1]
 		if u < 0 || u >= p.N || v < 0 || v >= p.N {
 			return nil, fmt.Errorf("edge %d endpoint out of range [0, %d)", i, p.N)
 		}
-		g.AddEdge(u, v)
+		edges = append(edges, graph.Edge{U: u, V: v})
 	}
-	for i, a := range p.Attrs {
-		g.SetAttr(i, graph.AttrVector(a))
+	g := graph.FromEdges(p.N, p.W, edges)
+	if p.Attrs != nil {
+		vecs := make([]graph.AttrVector, len(p.Attrs))
+		for i, a := range p.Attrs {
+			vecs[i] = graph.AttrVector(a)
+		}
+		g = g.WithAttributes(p.W, vecs)
 	}
 	return g, nil
 }

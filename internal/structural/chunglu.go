@@ -48,9 +48,16 @@ func (f FCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *
 // target). Generation stops early if the proposal budget is exhausted, which
 // can only happen under a near-zero acceptance filter.
 func GenerateCL(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges int, filter EdgeFilter) *graph.Graph {
-	g := graph.New(n, 0)
+	return generateCLBuilder(rng, n, sampler, targetEdges, filter).Finalize()
+}
+
+// generateCLBuilder is GenerateCL without the final freeze: the TCL and
+// TriCycLe generators keep rewiring the result, so they take the still-mutable
+// Builder and finalize once at the very end.
+func generateCLBuilder(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges int, filter EdgeFilter) *graph.Builder {
+	b := graph.NewBuilder(n, 0)
 	if sampler.Empty() || targetEdges <= 0 {
-		return g
+		return b
 	}
 	maxProposals := maxProposalFactor * (targetEdges + 1)
 	if filter != nil {
@@ -60,18 +67,18 @@ func GenerateCL(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges int, fi
 		// capped upstream, which bounds the required head-room).
 		maxProposals *= 8
 	}
-	for proposals := 0; g.NumEdges() < targetEdges && proposals < maxProposals; proposals++ {
+	for proposals := 0; b.NumEdges() < targetEdges && proposals < maxProposals; proposals++ {
 		u := sampler.Sample(rng)
 		v := sampler.Sample(rng)
-		if u == v || g.HasEdge(u, v) {
+		if u == v || b.HasEdge(u, v) {
 			continue
 		}
 		if !acceptEdge(rng, filter, u, v) {
 			continue
 		}
-		g.AddEdge(u, v)
+		b.AddEdge(u, v)
 	}
-	return g
+	return b
 }
 
 // sumDegrees returns the sum of a degree sequence.
@@ -87,18 +94,18 @@ func sumDegrees(degrees []int) int {
 // as fit) chosen uniformly at random. It serves as a structure-free baseline
 // in tests and examples; it is not used by AGM-DP itself.
 func ErdosRenyi(rng *rand.Rand, n, m int) *graph.Graph {
-	g := graph.New(n, 0)
+	b := graph.NewBuilder(n, 0)
 	maxEdges := n * (n - 1) / 2
 	if m > maxEdges {
 		m = maxEdges
 	}
-	for g.NumEdges() < m {
+	for b.NumEdges() < m {
 		u := rng.Intn(n)
 		v := rng.Intn(n)
 		if u == v {
 			continue
 		}
-		g.AddEdge(u, v)
+		b.AddEdge(u, v)
 	}
-	return g
+	return b.Finalize()
 }

@@ -21,10 +21,11 @@ const minParallelEdges = 4096
 //
 // The construction keeps the merge deterministic despite concurrent
 // execution: worker i draws from its own rand.Rand seeded by the i-th value
-// taken from the parent rng up front, collects its accepted edges into a
-// private list, and the lists are merged in worker order with duplicates
-// dropped. A sequential top-up pass (with its own pre-drawn seed) then fills
-// any shortfall caused by cross-worker duplicate proposals.
+// taken from the parent rng up front and collects its accepted edges into a
+// private list. The concatenated lists are packed into CSR form in a single
+// FromEdges pass, which drops cross-worker duplicates. A sequential top-up
+// pass (with its own pre-drawn seed) then fills any shortfall those
+// duplicates caused.
 //
 // When workers > 1 the filter may be called from multiple goroutines
 // concurrently and must be safe for concurrent use; the filters built by the
@@ -33,10 +34,37 @@ func GenerateCLParallel(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges
 	if workers <= 1 || targetEdges < minParallelEdges {
 		return GenerateCL(rng, n, sampler, targetEdges, filter)
 	}
+	return generateCLParallelBuilder(rng, n, sampler, targetEdges, filter, workers).Finalize()
+}
+
+// generateCLParallelBuilder is the still-mutable variant of GenerateCLParallel
+// used by generators that keep rewiring the seed graph (TriCycLe). The merged
+// worker edge lists are packed into builder rows once (FromEdgesBuilder), and
+// the top-up pass mutates those rows in place — no intermediate graph copies.
+func generateCLParallelBuilder(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges int, filter EdgeFilter, workers int) *graph.Builder {
+	if workers <= 1 || targetEdges < minParallelEdges {
+		return generateCLBuilder(rng, n, sampler, targetEdges, filter)
+	}
 	if sampler.Empty() || targetEdges <= 0 {
-		return graph.New(n, 0)
+		return graph.NewBuilder(n, 0)
 	}
 
+	merged, topUpSeed := proposeEdgesParallel(rng, sampler, targetEdges, filter, workers)
+	b := graph.FromEdgesBuilder(n, 0, merged)
+
+	// Top-up: cross-worker duplicates leave the merged rows slightly short of
+	// the target; finish sequentially with the same proposal budget per edge
+	// as the sequential generator.
+	if b.NumEdges() < targetEdges {
+		topUp(rand.New(rand.NewSource(topUpSeed)), b, sampler, targetEdges, filter)
+	}
+	return b
+}
+
+// proposeEdgesParallel fans the proposal loop out over `workers` goroutines and
+// returns the concatenation of their edge lists (still containing cross-worker
+// duplicates) plus the pre-drawn seed for the sequential top-up pass.
+func proposeEdgesParallel(rng *rand.Rand, sampler *NodeSampler, targetEdges int, filter EdgeFilter, workers int) ([]graph.Edge, int64) {
 	// Draw every seed before any goroutine starts so the parent rng is
 	// consumed identically regardless of scheduling.
 	seeds := make([]int64, workers)
@@ -67,21 +95,11 @@ func GenerateCLParallel(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges
 	}
 	wg.Wait()
 
-	// Merge in worker order; AddEdge silently drops cross-worker duplicates.
-	g := graph.New(n, 0)
+	merged := make([]graph.Edge, 0, targetEdges)
 	for _, edges := range results {
-		for _, e := range edges {
-			g.AddEdge(e.U, e.V)
-		}
+		merged = append(merged, edges...)
 	}
-
-	// Top-up: cross-worker duplicates leave the merged graph slightly short of
-	// the target; finish sequentially with the same proposal budget per edge
-	// as the sequential generator.
-	if short := targetEdges - g.NumEdges(); short > 0 {
-		topUp(rand.New(rand.NewSource(topUpSeed)), g, sampler, targetEdges, filter)
-	}
-	return g
+	return merged, topUpSeed
 }
 
 // proposeEdges runs one worker's proposal loop: Chung–Lu endpoint draws with
@@ -115,22 +133,22 @@ func proposeEdges(rng *rand.Rand, sampler *NodeSampler, target int, filter EdgeF
 	return edges
 }
 
-// topUp sequentially proposes edges into g until it reaches targetEdges or the
+// topUp sequentially proposes edges into b until it reaches targetEdges or the
 // proposal budget is exhausted, mirroring the GenerateCL loop.
-func topUp(rng *rand.Rand, g *graph.Graph, sampler *NodeSampler, targetEdges int, filter EdgeFilter) {
-	maxProposals := maxProposalFactor * (targetEdges - g.NumEdges() + 1)
+func topUp(rng *rand.Rand, b *graph.Builder, sampler *NodeSampler, targetEdges int, filter EdgeFilter) {
+	maxProposals := maxProposalFactor * (targetEdges - b.NumEdges() + 1)
 	if filter != nil {
 		maxProposals *= 8
 	}
-	for proposals := 0; g.NumEdges() < targetEdges && proposals < maxProposals; proposals++ {
+	for proposals := 0; b.NumEdges() < targetEdges && proposals < maxProposals; proposals++ {
 		u := sampler.Sample(rng)
 		v := sampler.Sample(rng)
-		if u == v || g.HasEdge(u, v) {
+		if u == v || b.HasEdge(u, v) {
 			continue
 		}
 		if !acceptEdge(rng, filter, u, v) {
 			continue
 		}
-		g.AddEdge(u, v)
+		b.AddEdge(u, v)
 	}
 }

@@ -10,7 +10,8 @@ import (
 // nodes (nodes outside the main connected component) by deleting their stray
 // edges and reconnecting them to nodes in the rest of the graph whose desired
 // degree has not yet been met, while keeping the total edge count at the value
-// implied by the desired degree sequence. The graph is modified in place.
+// implied by the desired degree sequence. The builder is modified in place;
+// callers finalize it into an immutable CSR graph when generation is done.
 //
 // desired holds the target degree of every node (the original input graph's
 // degree sequence in AGM-DP); sampler is the π distribution used to pick the
@@ -25,7 +26,7 @@ import (
 // filter, when non-nil, is treated as a soft preference: candidate attachment
 // points that the filter accepts are tried first, but connectivity repair
 // falls back to ignoring the filter rather than leaving the node orphaned.
-func PostProcessGraph(rng *rand.Rand, g *graph.Graph, sampler *NodeSampler, desired []int, filter EdgeFilter) {
+func PostProcessGraph(rng *rand.Rand, g *graph.Builder, sampler *NodeSampler, desired []int, filter EdgeFilter) {
 	n := g.NumNodes()
 	if n == 0 || len(desired) != n {
 		return
@@ -91,7 +92,7 @@ func PostProcessGraph(rng *rand.Rand, g *graph.Graph, sampler *NodeSampler, desi
 // randomAttachmentPoint returns a node other than vi to attach an orphan to,
 // preferring nodes with at least one edge. It returns -1 for graphs with no
 // usable candidate.
-func randomAttachmentPoint(rng *rand.Rand, g *graph.Graph, vi int) int {
+func randomAttachmentPoint(rng *rand.Rand, g *graph.Builder, vi int) int {
 	n := g.NumNodes()
 	if n <= 1 {
 		return -1
@@ -111,7 +112,7 @@ func randomAttachmentPoint(rng *rand.Rand, g *graph.Graph, vi int) int {
 // deleteRandomEdgeAvoiding removes one (approximately uniformly chosen) edge
 // that is not incident to the protected node, keeping the edge count on
 // target without immediately undoing the repair that was just made.
-func deleteRandomEdgeAvoiding(rng *rand.Rand, g *graph.Graph, protected int) {
+func deleteRandomEdgeAvoiding(rng *rand.Rand, g *graph.Builder, protected int) {
 	n := g.NumNodes()
 	for attempt := 0; attempt < 400; attempt++ {
 		u := rng.Intn(n)

@@ -3,56 +3,59 @@ package structural
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // NodeSampler draws nodes from the π distribution of the Chung–Lu family of
-// models, in which node i is selected with probability d_i / Σ_j d_j. It uses
-// the Fast Chung–Lu construction of Pinar et al.: a vector containing each
-// node ID repeated d_i times, from which samples are drawn uniformly in O(1).
+// models, in which node i is selected with probability d_i / Σ_j d_j. Instead
+// of the classic Fast Chung–Lu pool (each node ID repeated d_i times, O(Σ d_i)
+// memory), it stores the included nodes once together with the running prefix
+// sum of their degrees: a draw picks a uniform integer below the total mass
+// and binary-searches the prefix sums, giving the same distribution in
+// O(log n) time and O(n) memory regardless of how skewed the degree sequence
+// is.
 type NodeSampler struct {
-	pool []int32
+	nodes []int32 // node IDs with positive included degree, ascending
+	cum   []int64 // cum[k] = Σ degrees of nodes[0..k] (inclusive prefix sums)
+	total int64   // total mass, Σ of the included degrees
 }
 
 // NewNodeSampler builds a sampler from target degrees indexed by node ID.
-// Nodes with weight zero never appear in the pool. exclude, if non-nil,
-// removes specific nodes from the distribution regardless of their degree
-// (TriCycLe's orphan extension excludes degree-one nodes this way).
+// Nodes with weight zero never appear in the distribution. exclude, if
+// non-nil, removes specific nodes from the distribution regardless of their
+// degree (TriCycLe's orphan extension excludes degree-one nodes this way).
 func NewNodeSampler(degrees []int, exclude func(node int) bool) *NodeSampler {
-	total := 0
+	s := &NodeSampler{}
 	for i, d := range degrees {
 		if d < 0 {
 			panic(fmt.Sprintf("structural: negative degree %d for node %d", d, i))
 		}
-		if exclude != nil && exclude(i) {
+		if d == 0 || (exclude != nil && exclude(i)) {
 			continue
 		}
-		total += d
+		s.total += int64(d)
+		s.nodes = append(s.nodes, int32(i))
+		s.cum = append(s.cum, s.total)
 	}
-	pool := make([]int32, 0, total)
-	for i, d := range degrees {
-		if exclude != nil && exclude(i) {
-			continue
-		}
-		for j := 0; j < d; j++ {
-			pool = append(pool, int32(i))
-		}
-	}
-	return &NodeSampler{pool: pool}
+	return s
 }
 
 // Empty reports whether the sampler has no mass (all degrees zero or all
 // nodes excluded).
-func (s *NodeSampler) Empty() bool { return len(s.pool) == 0 }
+func (s *NodeSampler) Empty() bool { return s.total == 0 }
 
-// PoolSize returns the length of the underlying pool, i.e. the sum of the
-// included degrees.
-func (s *NodeSampler) PoolSize() int { return len(s.pool) }
+// PoolSize returns the total mass of the distribution, i.e. the sum of the
+// included degrees (the length the classic repeated-ID pool would have had).
+func (s *NodeSampler) PoolSize() int { return int(s.total) }
 
-// Sample draws one node with probability proportional to its degree. It
-// panics on an empty sampler.
+// Sample draws one node with probability proportional to its degree: a
+// uniform draw r in [0, total) selects the first node whose inclusive prefix
+// sum exceeds r. It panics on an empty sampler.
 func (s *NodeSampler) Sample(rng *rand.Rand) int {
-	if len(s.pool) == 0 {
+	if s.total == 0 {
 		panic("structural: sampling from an empty node sampler")
 	}
-	return int(s.pool[rng.Intn(len(s.pool))])
+	r := rng.Int63n(s.total)
+	k := sort.Search(len(s.cum), func(k int) bool { return s.cum[k] > r })
+	return int(s.nodes[k])
 }

@@ -28,6 +28,47 @@ func TestNodeSamplerProportionalToDegree(t *testing.T) {
 	}
 }
 
+// TestNodeSamplerChiSquared is a goodness-of-fit check that the prefix-sum
+// sampler realises exactly the π distribution the repeated-ID pool encoded:
+// sampled counts over a skewed degree sequence are compared to the expected
+// counts with Pearson's χ² statistic. With k−1 = 7 degrees of freedom the
+// 99.9th percentile of the χ² distribution is ≈ 24.3; a correct sampler fails
+// this bound with probability 0.001, a subtly biased one blows past it.
+func TestNodeSamplerChiSquared(t *testing.T) {
+	degrees := []int{1, 1, 2, 5, 10, 50, 100, 1000} // heavily skewed tail
+	s := NewNodeSampler(degrees, nil)
+	total := float64(sumDegrees(degrees))
+	rng := dp.NewRand(42)
+	const trials = 200000
+	counts := make([]float64, len(degrees))
+	for i := 0; i < trials; i++ {
+		counts[s.Sample(rng)]++
+	}
+	chi2 := 0.0
+	for i, d := range degrees {
+		expected := trials * float64(d) / total
+		diff := counts[i] - expected
+		chi2 += diff * diff / expected
+	}
+	const critical = 24.32 // χ²(df=7) at p = 0.001
+	if chi2 > critical {
+		t.Fatalf("χ² = %v exceeds the p=0.001 critical value %v; counts = %v", chi2, critical, counts)
+	}
+}
+
+// The prefix-sum sampler must not allocate pool memory proportional to Σ d_i:
+// a single hub of degree 10^7 still needs only two slice entries.
+func TestNodeSamplerSkewedMemory(t *testing.T) {
+	degrees := []int{10000000, 1}
+	s := NewNodeSampler(degrees, nil)
+	if len(s.nodes) != 2 || len(s.cum) != 2 {
+		t.Fatalf("sampler stores %d/%d entries, want 2/2", len(s.nodes), len(s.cum))
+	}
+	if s.PoolSize() != 10000001 {
+		t.Fatalf("PoolSize = %d, want 10000001", s.PoolSize())
+	}
+}
+
 func TestNodeSamplerExcludesNodes(t *testing.T) {
 	degrees := []int{5, 1, 1, 5}
 	s := NewNodeSampler(degrees, func(i int) bool { return degrees[i] == 1 })

@@ -27,70 +27,70 @@ func (TCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *gr
 	}
 	sampler := NewNodeSampler(params.Degrees, nil)
 	target := sumDegrees(params.Degrees) / 2
-	g := GenerateCL(rng, n, sampler, target, filter)
-	if g.NumEdges() == 0 {
-		return g
+	b := generateCLBuilder(rng, n, sampler, target, filter)
+	if b.NumEdges() == 0 {
+		return b.Finalize()
 	}
 
 	// FIFO of edges in insertion order; the head is the oldest edge.
-	queue := newEdgeQueue(g)
-	replacements := g.NumEdges() // replace every seed edge once, as in the TCL paper
+	queue := newEdgeQueue(b)
+	replacements := b.NumEdges() // replace every seed edge once, as in the TCL paper
 	maxProposals := maxProposalFactor * (replacements + 1)
 	for done, proposals := 0, 0; done < replacements && proposals < maxProposals; proposals++ {
 		vi := sampler.Sample(rng)
 		var vj int
 		if rng.Float64() < params.Rho {
-			vj = sampleTwoHop(rng, g, vi)
+			vj = sampleTwoHop(rng, b, vi)
 			if vj < 0 {
 				continue
 			}
 		} else {
 			vj = sampler.Sample(rng)
 		}
-		if vi == vj || g.HasEdge(vi, vj) {
+		if vi == vj || b.HasEdge(vi, vj) {
 			continue
 		}
 		if !acceptEdge(rng, filter, vi, vj) {
 			continue
 		}
-		oldest, ok := queue.popOldest(g)
+		oldest, ok := queue.popOldest(b)
 		if !ok {
 			break
 		}
-		g.RemoveEdge(oldest.U, oldest.V)
-		g.AddEdge(vi, vj)
+		b.RemoveEdge(oldest.U, oldest.V)
+		b.AddEdge(vi, vj)
 		queue.push(graph.Edge{U: vi, V: vj})
 		done++
 	}
-	return g
+	return b.Finalize()
 }
 
 // sampleTwoHop picks a uniformly random neighbour k of vi and then a uniformly
 // random neighbour of k (a "friend of a friend"). It returns -1 when vi has no
 // usable two-hop neighbour.
-func sampleTwoHop(rng *rand.Rand, g *graph.Graph, vi int) int {
-	ni := g.Neighbors(vi)
+func sampleTwoHop(rng *rand.Rand, b *graph.Builder, vi int) int {
+	ni := b.NeighborsView(vi)
 	if len(ni) == 0 {
 		return -1
 	}
-	vk := ni[rng.Intn(len(ni))]
-	nk := g.Neighbors(vk)
+	vk := int(ni[rng.Intn(len(ni))])
+	nk := b.NeighborsView(vk)
 	if len(nk) == 0 {
 		return -1
 	}
-	return nk[rng.Intn(len(nk))]
+	return int(nk[rng.Intn(len(nk))])
 }
 
 // edgeQueue is a FIFO over the current edge set used to track edge age in the
 // TCL and TriCycLe generators. Entries may be stale (already removed from the
-// graph); popOldest skips them.
+// builder); popOldest skips them.
 type edgeQueue struct {
 	items []graph.Edge
 	head  int
 }
 
-func newEdgeQueue(g *graph.Graph) *edgeQueue {
-	q := &edgeQueue{items: g.Edges()}
+func newEdgeQueue(b *graph.Builder) *edgeQueue {
+	q := &edgeQueue{items: b.Edges()}
 	return q
 }
 
@@ -98,12 +98,12 @@ func (q *edgeQueue) push(e graph.Edge) {
 	q.items = append(q.items, e.Canonical())
 }
 
-// popOldest returns the oldest edge that still exists in g.
-func (q *edgeQueue) popOldest(g *graph.Graph) (graph.Edge, bool) {
+// popOldest returns the oldest edge that still exists in b.
+func (q *edgeQueue) popOldest(b *graph.Builder) (graph.Edge, bool) {
 	for q.head < len(q.items) {
 		e := q.items[q.head]
 		q.head++
-		if g.HasEdge(e.U, e.V) {
+		if b.HasEdge(e.U, e.V) {
 			return e, true
 		}
 	}
@@ -134,11 +134,23 @@ func FitRho(g *graph.Graph, iterations int) float64 {
 	stats := make([]edgeStat, 0, g.NumEdges())
 	degs := g.Degrees()
 	g.ForEachEdge(func(u, v int) bool {
+		// Common neighbours of u and v via a sorted-merge of the CSR rows;
+		// k ≠ u, v automatically because the graph has no self loops.
 		var inv float64
-		nu := g.Neighbors(u)
-		for _, k := range nu {
-			if k != v && g.HasEdge(k, v) && degs[k] > 0 {
-				inv += 1 / float64(degs[k])
+		ru, rv := g.NeighborsView(u), g.NeighborsView(v)
+		i, j := 0, 0
+		for i < len(ru) && j < len(rv) {
+			a, c := ru[i], rv[j]
+			if a == c {
+				if d := degs[a]; d > 0 {
+					inv += 1 / float64(d)
+				}
+				i++
+				j++
+			} else if a < c {
+				i++
+			} else {
+				j++
 			}
 		}
 		pTri := inv / m

@@ -68,16 +68,16 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		seedTarget = 0
 	}
 
-	g := GenerateCLParallel(rng, n, sampler, seedTarget, filter, t.Parallelism)
+	b := generateCLParallelBuilder(rng, n, sampler, seedTarget, filter, t.Parallelism)
 	if postProcess {
-		PostProcessGraph(rng, g, sampler, degrees, filter)
+		PostProcessGraph(rng, b, sampler, degrees, filter)
 	}
-	if g.NumEdges() == 0 || sampler.Empty() {
-		return g
+	if b.NumEdges() == 0 || sampler.Empty() {
+		return b.Finalize()
 	}
 
-	queue := newEdgeQueue(g)
-	tau := g.Triangles()
+	queue := newEdgeQueue(b)
+	tau := b.Triangles()
 	// Proposal budget: enough to rewire every edge several times plus extra
 	// headroom proportional to the number of triangles still missing. A stall
 	// counter additionally aborts the loop when the triangle count has stopped
@@ -86,14 +86,14 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 	if missing < 0 {
 		missing = 0
 	}
-	maxProposals := proposalFactor*(g.NumEdges()+1) + int(50*missing)
-	stallLimit := 20*(g.NumEdges()+1) + 20000
+	maxProposals := proposalFactor*(b.NumEdges()+1) + int(50*missing)
+	stallLimit := 20*(b.NumEdges()+1) + 20000
 	stalled := 0
 	for proposals := 0; tau < params.Triangles && proposals < maxProposals && stalled < stallLimit; proposals++ {
 		stalled++
 		vi := sampler.Sample(rng)
-		vj := sampleTwoHop(rng, g, vi)
-		if vj < 0 || vi == vj || g.HasEdge(vi, vj) {
+		vj := sampleTwoHop(rng, b, vi)
+		if vj < 0 || vi == vj || b.HasEdge(vi, vj) {
 			continue
 		}
 		// AGM-DP integration (footnote 4): the acceptance probabilities apply
@@ -101,15 +101,15 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		if !acceptEdge(rng, filter, vi, vj) {
 			continue
 		}
-		oldest, ok := queue.popOldest(g)
+		oldest, ok := queue.popOldest(b)
 		if !ok {
 			break
 		}
-		cnOld := g.CommonNeighbors(oldest.U, oldest.V)
-		g.RemoveEdge(oldest.U, oldest.V)
-		cnNew := g.CommonNeighbors(vi, vj)
+		cnOld := b.CommonNeighbors(oldest.U, oldest.V)
+		b.RemoveEdge(oldest.U, oldest.V)
+		cnNew := b.CommonNeighbors(vi, vj)
 		if cnNew >= cnOld {
-			g.AddEdge(vi, vj)
+			b.AddEdge(vi, vj)
 			queue.push(graph.Edge{U: vi, V: vj})
 			tau += int64(cnNew - cnOld)
 			if cnNew > cnOld {
@@ -118,13 +118,13 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		} else {
 			// Undo the deletion; the restored edge becomes the youngest so the
 			// loop cannot immediately pick it again and stall.
-			g.AddEdge(oldest.U, oldest.V)
+			b.AddEdge(oldest.U, oldest.V)
 			queue.push(oldest)
 		}
 	}
 
 	if postProcess {
-		PostProcessGraph(rng, g, sampler, degrees, filter)
+		PostProcessGraph(rng, b, sampler, degrees, filter)
 	}
-	return g
+	return b.Finalize()
 }

@@ -28,30 +28,32 @@ func Count(g *graph.Graph) int64 {
 // {u, v} changes the triangle count by exactly |Γ(u) ∩ Γ(v)|.
 //
 // Only pairs at distance two or less can have a common neighbour, so the
-// implementation enumerates two-hop pairs through each node's neighbourhood,
-// costing O(Σ_w d_w²) time and O(max two-hop neighbourhood) memory.
+// implementation enumerates two-hop pairs through each node's CSR rows,
+// scatter-counting wedge endpoints into a dense counter that is reset via a
+// touched list, costing O(Σ_w d_w²) time and O(n) memory with no hashing.
 func MaxCommonNeighbors(g *graph.Graph) int {
 	n := g.NumNodes()
 	maxCN := 0
-	counts := make(map[int]int)
+	counts := make([]int32, n)
+	touched := make([]int32, 0, 256)
 	for u := 0; u < n; u++ {
-		for k := range counts {
-			delete(counts, k)
-		}
-		g.ForEachNeighbor(u, func(w int) bool {
-			g.ForEachNeighbor(w, func(v int) bool {
-				if v > u { // count each unordered pair once
+		for _, w := range g.NeighborsView(u) {
+			for _, v := range g.NeighborsView(int(w)) {
+				if int(v) > u { // count each unordered pair once
+					if counts[v] == 0 {
+						touched = append(touched, v)
+					}
 					counts[v]++
 				}
-				return true
-			})
-			return true
-		})
-		for _, c := range counts {
-			if c > maxCN {
-				maxCN = c
 			}
 		}
+		for _, v := range touched {
+			if c := int(counts[v]); c > maxCN {
+				maxCN = c
+			}
+			counts[v] = 0
+		}
+		touched = touched[:0]
 	}
 	return maxCN
 }

@@ -11,26 +11,26 @@ import (
 )
 
 func complete(n int) *graph.Graph {
-	g := graph.New(n, 0)
+	b := graph.NewBuilder(n, 0)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			g.AddEdge(i, j)
+			b.AddEdge(i, j)
 		}
 	}
-	return g
+	return b.Finalize()
 }
 
 func randomGraph(seed int64, n int, p float64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n, 0)
+	b := graph.NewBuilder(n, 0)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if rng.Float64() < p {
-				g.AddEdge(i, j)
+				b.AddEdge(i, j)
 			}
 		}
 	}
-	return g
+	return b.Finalize()
 }
 
 func TestCountMatchesGraphPackage(t *testing.T) {
@@ -46,18 +46,18 @@ func TestMaxCommonNeighborsKnownGraphs(t *testing.T) {
 		t.Fatalf("K5 MaxCommonNeighbors = %d, want 3", got)
 	}
 	// A star: all leaf pairs share exactly the hub.
-	star := graph.New(6, 0)
+	starB := graph.NewBuilder(6, 0)
 	for i := 1; i < 6; i++ {
-		star.AddEdge(0, i)
+		starB.AddEdge(0, i)
 	}
-	if got := MaxCommonNeighbors(star); got != 1 {
+	if got := MaxCommonNeighbors(starB.Finalize()); got != 1 {
 		t.Fatalf("star MaxCommonNeighbors = %d, want 1", got)
 	}
 	// A path of length 2: the endpoints share the middle node.
-	p := graph.New(3, 0)
-	p.AddEdge(0, 1)
-	p.AddEdge(1, 2)
-	if got := MaxCommonNeighbors(p); got != 1 {
+	pb := graph.NewBuilder(3, 0)
+	pb.AddEdge(0, 1)
+	pb.AddEdge(1, 2)
+	if got := MaxCommonNeighbors(pb.Finalize()); got != 1 {
 		t.Fatalf("path MaxCommonNeighbors = %d, want 1", got)
 	}
 	// No edges → no pair has a common neighbour.
@@ -168,11 +168,11 @@ func TestLadderCountNeverNegative(t *testing.T) {
 
 func TestLadderCountTinyGraphDoesNotPanic(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 3} {
-		g := graph.New(n, 0)
+		b := graph.NewBuilder(n, 0)
 		if n >= 2 {
-			g.AddEdge(0, 1)
+			b.AddEdge(0, 1)
 		}
-		if est := LadderCount(dp.NewRand(1), g, 0.5, LadderOptions{}); est < 0 {
+		if est := LadderCount(dp.NewRand(1), b.Finalize(), 0.5, LadderOptions{}); est < 0 {
 			t.Fatalf("tiny graph estimate negative: %d", est)
 		}
 	}

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs the CSR-core benchmarks and records them as JSON, seeding the per-PR
+# performance trajectory. Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# The default output is BENCH_pr2.json in the repository root. Each entry
+# holds the benchmark name, iteration count, ns/op and (when reported)
+# B/op and allocs/op; a "speedups" section reports the CSR-vs-map-baseline
+# ratios the PR 2 acceptance criteria are stated in. BENCH_PKGS overrides
+# the benchmarked packages (the root package holds the much slower
+# paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr2.json}"
+pkgs="${BENCH_PKGS:-./internal/graph/}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test $pkgs -run '^$' -bench . -benchmem -benchtime 1x >/dev/null # warm the build cache
+go test $pkgs -run '^$' -bench . -benchmem | tee "$raw"
+
+python3 - "$raw" "$out" <<'PY'
+import json
+import re
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+benches = []
+pattern = re.compile(
+    r"^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?"
+)
+for line in open(raw_path):
+    m = pattern.match(line.strip())
+    if not m:
+        continue
+    entry = {
+        "name": m.group(1),
+        "iterations": int(m.group(2)),
+        "ns_per_op": float(m.group(3)),
+    }
+    if m.group(4) is not None:
+        entry["bytes_per_op"] = float(m.group(4))
+        entry["allocs_per_op"] = int(m.group(5))
+    benches.append(entry)
+
+by_name = {b["name"].split("-")[0]: b for b in benches}
+
+def speedup(base, new):
+    b, n = by_name.get(base), by_name.get(new)
+    if not b or not n or n["ns_per_op"] == 0:
+        return None
+    return round(b["ns_per_op"] / n["ns_per_op"], 2)
+
+doc = {
+    "pr": 2,
+    "description": "CSR graph core vs map-adjacency baseline on a 10k-node Chung-Lu graph",
+    "benchmarks": benches,
+    "speedups": {
+        "triangles_csr_vs_map": speedup("BenchmarkTrianglesMapBaseline", "BenchmarkTrianglesCSR"),
+        "max_common_neighbors_csr_vs_map": speedup(
+            "BenchmarkMaxCommonNeighborsMapBaseline", "BenchmarkMaxCommonNeighborsCSR"
+        ),
+        "build_from_edges_vs_map": speedup("BenchmarkBuildMapBaseline", "BenchmarkBuildFromEdges"),
+        "build_builder_vs_map": speedup("BenchmarkBuildMapBaseline", "BenchmarkBuildBuilderFinalize"),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY
