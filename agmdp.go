@@ -30,6 +30,7 @@ import (
 	"agmdp/internal/engine"
 	"agmdp/internal/experiments"
 	"agmdp/internal/graph"
+	"agmdp/internal/parallel"
 	"agmdp/internal/registry"
 	"agmdp/internal/structural"
 )
@@ -96,10 +97,22 @@ const (
 )
 
 // structuralModel maps a ModelKind to its implementation through the shared
-// resolver.
-func structuralModel(kind ModelKind) (structural.Model, error) {
-	return structural.ByName(string(kind), 0)
+// resolver, carrying the requested parallelism (≤ 0 = auto, 1 = sequential).
+func structuralModel(kind ModelKind, parallelism int) (structural.Model, error) {
+	return structural.ByName(string(kind), parallelism)
 }
+
+// SetParallelism sets the process-wide default worker count used by every
+// parallel code path in the library — the sharded graph analytics, the
+// sensitivity scans, and the structural generators' proposal and rewiring
+// streams. Values ≤ 0 restore the built-in default of runtime.GOMAXPROCS(0);
+// 1 forces every auto-resolved path sequential, which makes generator output
+// byte-for-byte reproducible across machines with different core counts.
+//
+// Analytics (triangle counts, clustering, degree statistics) are bit-identical
+// for every worker count; only the generators' random draws depend on the
+// resolved count (same seed + same count ⇒ same graph).
+func SetParallelism(n int) { parallel.SetParallelism(n) }
 
 // Options configures Fit and Synthesize.
 type Options struct {
@@ -118,6 +131,11 @@ type Options struct {
 	// Seed seeds the deterministic random source used for both fitting and
 	// sampling. Runs with equal seeds and inputs are reproducible.
 	Seed int64
+	// Parallelism is the number of concurrent streams used by the structural
+	// generators: ≤ 0 means "auto" (the process default, see SetParallelism),
+	// 1 forces sequential generation. Sampling output is deterministic per
+	// (Seed, resolved worker count) pair.
+	Parallelism int
 }
 
 // Fit learns ε-differentially private AGM parameters from the sensitive graph
@@ -125,7 +143,7 @@ type Options struct {
 // used to sample any number of synthetic graphs with Sample at no additional
 // privacy cost.
 func Fit(g *Graph, opts Options) (*FittedModel, error) {
-	model, err := structuralModel(opts.Model)
+	model, err := structuralModel(opts.Model, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +158,10 @@ func Fit(g *Graph, opts Options) (*FittedModel, error) {
 // FitNonPrivate learns exact AGM parameters (no privacy), the baseline the
 // paper calls AGM-FCL / AGM-TriCL.
 func FitNonPrivate(g *Graph, kind ModelKind) (*FittedModel, error) {
-	model, err := structuralModel(kind)
+	// Baselines pin sequential generation (parallelism 1) so the paper's
+	// reference points are byte-reproducible across machines; use Options
+	// with Sample/Synthesize when baseline throughput matters more.
+	model, err := structuralModel(kind, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +172,7 @@ func FitNonPrivate(g *Graph, kind ModelKind) (*FittedModel, error) {
 // post-processing property of differential privacy this consumes no
 // additional privacy budget.
 func Sample(m *FittedModel, opts Options) (*Graph, error) {
-	model, err := structuralModel(opts.Model)
+	model, err := structuralModel(opts.Model, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +185,7 @@ func Sample(m *FittedModel, opts Options) (*Graph, error) {
 // samples one synthetic graph. The synthetic graph and the fitted model are
 // returned; the fitted model can be reused with Sample to draw more graphs.
 func Synthesize(g *Graph, opts Options) (*Graph, *FittedModel, error) {
-	model, err := structuralModel(opts.Model)
+	model, err := structuralModel(opts.Model, opts.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -177,9 +198,11 @@ func Synthesize(g *Graph, opts Options) (*Graph, *FittedModel, error) {
 }
 
 // SynthesizeNonPrivate runs the original (non-private) AGM workflow, used as
-// the reference point in the paper's tables.
+// the reference point in the paper's tables. It pins sequential generation
+// (parallelism 1) so the reference output is byte-reproducible for a given
+// seed on every machine, whatever its core count.
 func SynthesizeNonPrivate(g *Graph, kind ModelKind, seed int64) (*Graph, *FittedModel, error) {
-	model, err := structuralModel(kind)
+	model, err := structuralModel(kind, 1)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -72,7 +72,7 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		store       = fs.String("store", "", "model store directory (empty = in-memory only)")
 		workers     = fs.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
 		queue       = fs.Int("queue", 0, "job queue bound (0 = 4x workers)")
-		parallelism = fs.Int("parallelism", 0, "intra-job edge-sampling streams (<2 = sequential)")
+		parallelism = fs.Int("parallelism", 0, "intra-job sampling streams (0 = auto/GOMAXPROCS, 1 = sequential)")
 		seed        = fs.Int64("seed", 1, "base seed for the per-worker RNG streams")
 		maxModels   = fs.Int("max-models", 0, "max resident models, oldest evicted first (0 = unbounded)")
 	)
@@ -96,6 +96,10 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		QueueSize:   *queue,
 		Seed:        *seed,
 		Parallelism: *parallelism,
+		// The registry doubles as the acceptance-table cache: default-shaped
+		// sample requests reuse each model's refined acceptance filter
+		// instead of re-fitting it per sample.
+		Acceptance: reg,
 	})
 	defer eng.Close()
 

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/registry"
+)
+
+// The registry is the production implementation of the acceptance cache.
+var _ AcceptanceCache = (*registry.Registry)(nil)
+
+// cacheFixture stores the fixture model in a fresh in-memory registry and
+// returns the registry and the model's cache key.
+func cacheFixture(t *testing.T) (*registry.Registry, string) {
+	t.Helper()
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := reg.Put(fixtureModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, id
+}
+
+func TestAcceptanceCacheWarmAndColdAgree(t *testing.T) {
+	sample := func(reg *registry.Registry, id string) *graph.Graph {
+		e := New(Config{Workers: 1, Seed: 1, Parallelism: 1, Acceptance: reg})
+		defer e.Close()
+		m, ok := reg.Model(id)
+		if !ok {
+			t.Fatal("model missing from registry")
+		}
+		g, err := e.Sample(context.Background(), Request{Model: m, Seed: 99, CacheKey: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	regA, idA := cacheFixture(t)
+	cold := sample(regA, idA)
+	if _, ok := regA.Acceptance(idA); !ok {
+		t.Fatal("sampling did not populate the acceptance cache")
+	}
+	warm := sample(regA, idA) // second sample hits the cached table
+	if !cold.Equal(warm) {
+		t.Fatal("warm cache changed a seeded sample")
+	}
+	// A completely fresh registry (cold cache) must reproduce the same graph:
+	// the table is a pure function of the model, not of cache history.
+	regB, idB := cacheFixture(t)
+	if !cold.Equal(sample(regB, idB)) {
+		t.Fatal("cold cache in a fresh registry produced a different graph")
+	}
+	if cold.NumEdges() == 0 {
+		t.Fatal("cached-path sample has no edges")
+	}
+}
+
+func TestAcceptanceCacheBypassedForExplicitIterations(t *testing.T) {
+	reg, id := cacheFixture(t)
+	e := New(Config{Workers: 1, Seed: 1, Parallelism: 1, Acceptance: reg})
+	defer e.Close()
+	m, _ := reg.Model(id)
+	if _, err := e.Sample(context.Background(), Request{Model: m, Seed: 7, Iterations: 2, CacheKey: id}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Acceptance(id); ok {
+		t.Fatal("explicit-iterations request must not populate the acceptance cache")
+	}
+}
+
+func TestAcceptanceCacheIgnoredWithoutKey(t *testing.T) {
+	reg, id := cacheFixture(t)
+	e := New(Config{Workers: 1, Seed: 1, Parallelism: 1, Acceptance: reg})
+	defer e.Close()
+	m, _ := reg.Model(id)
+	// No CacheKey: the classic refinement path, identical to a cache-less
+	// engine with the same seed.
+	g1, err := e.Sample(context.Background(), Request{Model: m, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(Config{Workers: 1, Seed: 1, Parallelism: 1})
+	defer plain.Close()
+	g2, err := plain.Sample(context.Background(), Request{Model: m, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		t.Fatal("keyless request diverged from the cache-less engine")
+	}
+}
+
+func TestRequestParallelismOverrideIsDeterministic(t *testing.T) {
+	m := fixtureModel(t)
+	e := New(Config{Workers: 1, Seed: 1, Parallelism: 1})
+	defer e.Close()
+	run := func(par int) *graph.Graph {
+		g, err := e.Sample(context.Background(), Request{Model: m, Seed: 13, Iterations: 1, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if !run(4).Equal(run(4)) {
+		t.Fatal("same seed + same per-request parallelism gave different graphs")
+	}
+}

@@ -1,8 +1,12 @@
 // Package engine provides a concurrent synthesis engine for fitted AGM-DP
 // models: a fixed pool of workers drains a bounded job queue, each worker owns
 // a deterministic RNG stream (base seed + worker index), and individual
-// sampling jobs can additionally shard their Chung–Lu edge proposals across
-// parallel streams (structural.GenerateCLParallel).
+// sampling jobs additionally shard their structural generation — Chung–Lu
+// edge proposals and TriCycLe rewiring batches — across intra-job streams
+// that execute on the process-wide worker pool (internal/parallel), so job
+// throughput and per-job latency scale without oversubscribing the machine.
+// An optional acceptance-table cache (the registry) lets repeat samples of a
+// model skip the per-sample refinement rounds.
 //
 // Sampling a fitted model consumes no privacy budget (post-processing), so
 // the engine can serve an unbounded number of synthesis requests from one
@@ -22,6 +26,7 @@ import (
 	"agmdp/internal/core"
 	"agmdp/internal/dp"
 	"agmdp/internal/graph"
+	"agmdp/internal/parallel"
 	"agmdp/internal/structural"
 )
 
@@ -41,11 +46,19 @@ type Config struct {
 	// from a stream seeded with Seed+i. Jobs with explicit seeds ignore the
 	// worker streams entirely.
 	Seed int64
-	// Parallelism is the number of intra-job edge-proposal streams handed to
-	// the structural samplers; values below 2 sample each job sequentially.
-	// It is independent of Workers: Workers scales throughput across jobs,
-	// Parallelism scales latency within one job.
+	// Parallelism is the number of intra-job proposal streams handed to the
+	// structural samplers: ≤ 0 means "auto" (the process default,
+	// runtime.GOMAXPROCS unless overridden with parallel.SetParallelism),
+	// 1 samples each job sequentially. It is independent of Workers: Workers
+	// scales throughput across jobs, Parallelism scales latency within one
+	// job. Both fan out on the same shared worker pool, so raising both does
+	// not oversubscribe the machine — shard tasks queue behind the pool's
+	// GOMAXPROCS residents.
 	Parallelism int
+	// Acceptance, when non-nil, caches per-model acceptance tables so
+	// sampling jobs skip the per-sample refinement rounds; see the
+	// AcceptanceCache interface. The registry satisfies it.
+	Acceptance AcceptanceCache
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -56,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueSize < 1 {
 		c.QueueSize = 4 * c.Workers
 	}
+	// Parallelism is deliberately NOT resolved here: ≤ 0 stays "auto" so a
+	// later parallel.SetParallelism call still affects this engine's jobs
+	// (the generators resolve at use time).
 	return c
 }
 
@@ -73,6 +89,16 @@ type Request struct {
 	// ModelKind optionally overrides the structural model ("tricycle", "fcl",
 	// "tcl"); empty uses the model the parameters were fitted for.
 	ModelKind string
+	// Parallelism overrides the engine's intra-job stream count for this job
+	// only; 0 keeps the engine default, 1 forces sequential sampling. The
+	// resolved value is part of the determinism contract: equal seeds give
+	// equal graphs only at equal parallelism.
+	Parallelism int
+	// CacheKey, when non-empty, identifies the model (its registry ID) for
+	// acceptance-table caching. It is consulted only when the engine has an
+	// Acceptance cache and the request uses default Iterations; see
+	// AcceptanceCache.
+	CacheKey string
 }
 
 // Stats is a point-in-time snapshot of engine load, served by /healthz.
@@ -152,25 +178,66 @@ func (e *Engine) worker(index int) {
 	}
 }
 
+// AcceptanceCache stores fitted acceptance tables keyed by model ID. The
+// registry implements it; any implementation must be safe for concurrent use
+// and must drop a model's table when the model itself is evicted. Tables are
+// pure functions of the model parameters (core.FitAcceptanceTable derives its
+// rng from the model's content address), so a warm and a cold cache produce
+// byte-identical samples for equal (model, seed) pairs.
+type AcceptanceCache interface {
+	// Acceptance returns the cached table for a model ID, if present. The
+	// returned slice is shared and must be treated as read-only.
+	Acceptance(id string) ([]float64, bool)
+	// SetAcceptance stores a table for a model ID, reporting whether the
+	// model is known to the cache.
+	SetAcceptance(id string, table []float64) bool
+}
+
 // sampleOnce draws one synthetic graph with a concrete seed.
 func (e *Engine) sampleOnce(req Request, seed int64) (*graph.Graph, error) {
-	model, err := e.structuralModel(req.ModelKind, req.Model.ModelName)
+	par := req.Parallelism
+	if par <= 0 {
+		par = e.cfg.Parallelism
+	}
+	model, err := e.structuralModel(req.ModelKind, req.Model.ModelName, par)
 	if err != nil {
 		return nil, err
 	}
-	return core.Sample(dp.NewRand(seed), req.Model, core.SampleOptions{
-		Iterations: req.Iterations,
-		Model:      model,
-	})
+	opts := core.SampleOptions{Iterations: req.Iterations, Model: model}
+
+	// Cached acceptance path: plain requests (default iterations, no model
+	// override) sample with the model's pre-fitted acceptance table, turning
+	// 1+Iterations structural generations into one. Tables are fitted
+	// sequentially (parallelism 1) on a miss, so a table is a pure function
+	// of the model parameters — the same on every host, regardless of core
+	// count, engine flags, or which request happened to populate the cache.
+	// Gate on the *resolved* iteration count: an explicit Iterations equal to
+	// the default is the same request as omitting it, so both take the same
+	// path (and return the same graph for the same seed).
+	if e.cfg.Acceptance != nil && req.CacheKey != "" && req.ModelKind == "" &&
+		(req.Iterations <= 0 || req.Iterations == core.DefaultSampleIterations) {
+		table, ok := e.cfg.Acceptance.Acceptance(req.CacheKey)
+		if !ok {
+			// FitAcceptanceTable pins sequential generation internally, so
+			// the table cannot depend on this host's core count or flags.
+			table, err = core.FitAcceptanceTable(req.Model, opts)
+			if err != nil {
+				return nil, err
+			}
+			e.cfg.Acceptance.SetAcceptance(req.CacheKey, table)
+		}
+		return core.SampleWithTable(dp.NewRand(seed), req.Model, table, opts)
+	}
+	return core.Sample(dp.NewRand(seed), req.Model, opts)
 }
 
 // structuralModel resolves a model name to an implementation carrying the
-// engine's intra-job parallelism.
-func (e *Engine) structuralModel(kind, fittedName string) (structural.Model, error) {
+// job's intra-job parallelism.
+func (e *Engine) structuralModel(kind, fittedName string, parallelism int) (structural.Model, error) {
 	if kind == "" {
 		kind = fittedName
 	}
-	return structural.ByName(kind, e.cfg.Parallelism)
+	return structural.ByName(kind, parallelism)
 }
 
 // Sample enqueues one job and blocks until it completes, the context is
@@ -215,13 +282,14 @@ func (e *Engine) SampleSeeded(ctx context.Context, req Request) (*graph.Graph, i
 	}
 }
 
-// Stats returns a snapshot of the engine's load counters.
+// Stats returns a snapshot of the engine's load counters. Parallelism is
+// reported resolved (what an auto-parallelism job would use right now).
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Workers:     e.cfg.Workers,
 		QueueDepth:  len(e.jobs),
 		QueueCap:    cap(e.jobs),
-		Parallelism: e.cfg.Parallelism,
+		Parallelism: parallel.Resolve(e.cfg.Parallelism),
 		Completed:   e.completed.Load(),
 		Failed:      e.failed.Load(),
 	}

@@ -1,0 +1,66 @@
+package graph_test
+
+// Paired sequential-vs-parallel benchmarks for the sharded analytics (PR 3),
+// run on the shared 10k-node Chung–Lu fixture. The *Sequential variants pin
+// one worker; the *Parallel variants use the process default (GOMAXPROCS), so
+// the pairs measure the worker-pool speedup on the benchmarking host.
+// scripts/bench.sh records the ratios in BENCH_pr3.json; on a single-core
+// container the ratio is ≈ 1 by construction (see the JSON's notes).
+
+import (
+	"testing"
+)
+
+func BenchmarkTrianglesSequential(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.TrianglesWith(1)
+	}
+}
+
+func BenchmarkTrianglesParallel(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.TrianglesWith(0)
+	}
+}
+
+func BenchmarkLocalClusteringAllSequential(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.LocalClusteringAllWith(1)
+	}
+}
+
+func BenchmarkLocalClusteringAllParallel(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.LocalClusteringAllWith(0)
+	}
+}
+
+func BenchmarkSummarizeSequential(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.SummarizeWith(1)
+	}
+}
+
+func BenchmarkSummarizeParallel(b *testing.B) {
+	g, _, _ := benchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.SummarizeWith(0)
+	}
+}

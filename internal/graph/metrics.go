@@ -2,13 +2,10 @@ package graph
 
 import "sort"
 
-// Degrees returns the degree of every node, indexed by node ID.
+// Degrees returns the degree of every node, indexed by node ID. Large graphs
+// fill the slice in parallel shards (DegreesWith) with identical results.
 func (g *Graph) Degrees() []int {
-	out := make([]int, len(g.attrs))
-	for i := range out {
-		out[i] = int(g.offsets[i+1] - g.offsets[i])
-	}
-	return out
+	return g.DegreesWith(0)
 }
 
 // DegreeSequence returns the multiset of node degrees sorted in non-decreasing
@@ -45,11 +42,19 @@ func (g *Graph) AverageDegree() float64 {
 // once as a sorted-merge intersection of two forward neighbour lists. Because
 // forward degrees are bounded by O(√m), the intersections cost O(m^{3/2})
 // total even on heavy-tailed graphs where hub rows would otherwise dominate.
+//
+// On graphs above the sharding threshold the counting pass runs on the shared
+// worker pool (see TrianglesWith); the count is bit-identical to the
+// sequential algorithm for every worker count.
 func (g *Graph) Triangles() int64 {
+	return g.TrianglesWith(0)
+}
+
+// forwardCSR builds the compact-forward orientation of the graph: row u keeps
+// only the neighbours of higher (degree, ID) rank. Filtering a sorted row
+// preserves its ID order, so merge intersections still work on forward rows.
+func (g *Graph) forwardCSR() (foffsets []int64, fneighbors []int32) {
 	n := len(g.attrs)
-	if n == 0 || g.m == 0 {
-		return 0
-	}
 
 	// Rank nodes by (degree, ID) with a counting sort over degrees; iterating
 	// node IDs in ascending order breaks degree ties by ID for free.
@@ -76,9 +81,7 @@ func (g *Graph) Triangles() int64 {
 		next[d]++
 	}
 
-	// Forward CSR: row u keeps only neighbours of higher rank. Filtering a
-	// sorted row preserves its ID order, so the merge intersection still works.
-	foffsets := make([]int64, n+1)
+	foffsets = make([]int64, n+1)
 	for u := 0; u < n; u++ {
 		cnt := int64(0)
 		for _, v := range g.row(u) {
@@ -88,7 +91,7 @@ func (g *Graph) Triangles() int64 {
 		}
 		foffsets[u+1] = foffsets[u] + cnt
 	}
-	fneighbors := make([]int32, foffsets[n])
+	fneighbors = make([]int32, foffsets[n])
 	for u := 0; u < n; u++ {
 		k := foffsets[u]
 		for _, v := range g.row(u) {
@@ -98,15 +101,7 @@ func (g *Graph) Triangles() int64 {
 			}
 		}
 	}
-
-	var total int64
-	for u := 0; u < n; u++ {
-		fu := fneighbors[foffsets[u]:foffsets[u+1]]
-		for _, v := range fu {
-			total += int64(intersectCount(fu, fneighbors[foffsets[v]:foffsets[v+1]]))
-		}
-	}
-	return total
+	return foffsets, fneighbors
 }
 
 // TrianglesAt returns the number of triangles that include node i, i.e. the
@@ -123,8 +118,14 @@ func (g *Graph) TrianglesAt(i int) int64 {
 }
 
 // Wedges returns n_W, the number of length-two paths (wedges) in the graph:
-// Σ_i d_i·(d_i−1)/2.
+// Σ_i d_i·(d_i−1)/2. Large graphs shard the sum over the worker pool
+// (WedgesWith); the result is exact for every worker count.
 func (g *Graph) Wedges() int64 {
+	return g.WedgesWith(0)
+}
+
+// wedgesSeq is the sequential wedge count.
+func (g *Graph) wedgesSeq() int64 {
 	var total int64
 	for i := range g.attrs {
 		d := g.offsets[i+1] - g.offsets[i]
@@ -149,34 +150,21 @@ func (g *Graph) LocalClustering(i int) float64 {
 // LocalClusteringAll returns the local clustering coefficient of every node,
 // indexed by node ID. It shares work across nodes by counting triangles along
 // edges once, so it is much cheaper than calling LocalClustering per node on
-// large graphs.
+// large graphs. Above the sharding threshold the edge pass runs on the shared
+// worker pool with per-worker counter arrays (LocalClusteringAllWith); the
+// coefficients are bit-identical for every worker count.
 func (g *Graph) LocalClusteringAll() []float64 {
+	return g.LocalClusteringAllWith(0)
+}
+
+// localClusteringAllSeq is the sequential single-counter implementation.
+func (g *Graph) localClusteringAllSeq() []float64 {
 	triPerNode := make([]int64, len(g.attrs))
 	for u := range g.attrs {
-		ru := g.row(u)
-		for _, v32 := range ru {
-			v := int(v32)
-			if u >= v {
-				continue
-			}
-			// Every common neighbour w of u and v closes a triangle {u,v,w};
-			// credit it to w. Each triangle is credited to each of its three
-			// corners exactly once (when the opposite edge is processed).
-			rv := g.row(v)
-			i, j := 0, 0
-			for i < len(ru) && j < len(rv) {
-				a, b := ru[i], rv[j]
-				if a == b {
-					triPerNode[a]++
-					i++
-					j++
-				} else if a < b {
-					i++
-				} else {
-					j++
-				}
-			}
-		}
+		// Every common neighbour w of u and v closes a triangle {u,v,w};
+		// credit it to w. Each triangle is credited to each of its three
+		// corners exactly once (when the opposite edge is processed).
+		g.creditTrianglesAlongEdges(u, triPerNode)
 	}
 	out := make([]float64, len(g.attrs))
 	for i := range g.attrs {
@@ -214,8 +202,14 @@ func (g *Graph) GlobalClustering() float64 {
 }
 
 // DegreeHistogram returns a map from degree value to the number of nodes with
-// that degree.
+// that degree. Large graphs shard the tally over the worker pool
+// (DegreeHistogramWith) with identical results.
 func (g *Graph) DegreeHistogram() map[int]int {
+	return g.DegreeHistogramWith(0)
+}
+
+// degreeHistogramSeq is the sequential histogram tally.
+func (g *Graph) degreeHistogramSeq() map[int]int {
 	h := make(map[int]int)
 	for i := range g.attrs {
 		h[g.Degree(i)]++
@@ -235,16 +229,10 @@ type Summary struct {
 	Attributes         int
 }
 
-// Summarize computes the Table 6 statistics for the graph.
+// Summarize computes the Table 6 statistics for the graph. The triangle,
+// wedge and clustering passes run sharded on the worker pool for large graphs
+// (SummarizeWith) and the triangle count is computed once and shared between
+// the statistics that need it.
 func (g *Graph) Summarize() Summary {
-	return Summary{
-		Nodes:              g.NumNodes(),
-		Edges:              g.NumEdges(),
-		MaxDegree:          g.MaxDegree(),
-		AverageDegree:      g.AverageDegree(),
-		Triangles:          g.Triangles(),
-		AvgLocalClustering: g.AverageLocalClustering(),
-		GlobalClustering:   g.GlobalClustering(),
-		Attributes:         g.NumAttributes(),
-	}
+	return g.SummarizeWith(0)
 }

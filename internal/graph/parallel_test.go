@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agmdp/internal/parallel"
+)
+
+// randomTestGraph builds a Chung–Lu-flavoured random graph with a heavy-
+// tailed degree profile, large enough to clear the sharding thresholds.
+func randomTestGraph(t testing.TB, seed int64, n, edgeFactor int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, n*edgeFactor)
+	for k := 0; k < n*edgeFactor; k++ {
+		u := rng.Intn(n)
+		// Skew: a tenth of the endpoints land on the first few hub nodes.
+		if rng.Intn(10) == 0 {
+			u = rng.Intn(1 + n/100)
+		}
+		v := rng.Intn(n)
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	return FromEdges(n, 0, edges)
+}
+
+func TestParallelAnalyticsMatchSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomTestGraph(t, seed, 4000, 4)
+		if g.NumEdges() < minShardEdges {
+			t.Fatalf("fixture too small to engage sharding: %d edges", g.NumEdges())
+		}
+		wantTri := g.TrianglesWith(1)
+		wantCC := g.LocalClusteringAllWith(1)
+		wantWedges := g.wedgesSeq()
+		wantHist := g.degreeHistogramSeq()
+		for _, workers := range []int{2, 3, 8, 64} {
+			if got := g.TrianglesWith(workers); got != wantTri {
+				t.Fatalf("seed %d workers %d: Triangles = %d, want %d", seed, workers, got, wantTri)
+			}
+			got := g.LocalClusteringAllWith(workers)
+			for i := range wantCC {
+				if got[i] != wantCC[i] {
+					t.Fatalf("seed %d workers %d: clustering[%d] = %v, want %v (must be bit-identical)",
+						seed, workers, i, got[i], wantCC[i])
+				}
+			}
+			if got := g.WedgesWith(workers); got != wantWedges {
+				t.Fatalf("seed %d workers %d: Wedges = %d, want %d", seed, workers, got, wantWedges)
+			}
+			hist := g.DegreeHistogramWith(workers)
+			if len(hist) != len(wantHist) {
+				t.Fatalf("seed %d workers %d: histogram size %d, want %d", seed, workers, len(hist), len(wantHist))
+			}
+			for d, c := range wantHist {
+				if hist[d] != c {
+					t.Fatalf("seed %d workers %d: histogram[%d] = %d, want %d", seed, workers, d, hist[d], c)
+				}
+			}
+			degs := g.DegreesWith(workers)
+			for i := range degs {
+				if degs[i] != int(g.offsets[i+1]-g.offsets[i]) {
+					t.Fatalf("seed %d workers %d: degree[%d] wrong", seed, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSummarizeWithMatchesSequentialParts(t *testing.T) {
+	g := randomTestGraph(t, 5, 4000, 4)
+	seq := Summary{
+		Nodes:              g.NumNodes(),
+		Edges:              g.NumEdges(),
+		MaxDegree:          g.MaxDegree(),
+		AverageDegree:      g.AverageDegree(),
+		Triangles:          g.TrianglesWith(1),
+		AvgLocalClustering: mean(g.LocalClusteringAllWith(1)),
+		GlobalClustering:   3 * float64(g.TrianglesWith(1)) / float64(g.wedgesSeq()),
+		Attributes:         g.NumAttributes(),
+	}
+	for _, workers := range []int{1, 4} {
+		got := g.SummarizeWith(workers)
+		if got.Triangles != seq.Triangles || got.Nodes != seq.Nodes || got.Edges != seq.Edges ||
+			got.MaxDegree != seq.MaxDegree || got.Attributes != seq.Attributes {
+			t.Fatalf("workers %d: summary counts diverged: %+v vs %+v", workers, got, seq)
+		}
+		if math.Abs(got.AvgLocalClustering-seq.AvgLocalClustering) > 1e-15 ||
+			math.Abs(got.GlobalClustering-seq.GlobalClustering) > 1e-15 ||
+			math.Abs(got.AverageDegree-seq.AverageDegree) > 1e-15 {
+			t.Fatalf("workers %d: summary ratios diverged: %+v vs %+v", workers, got, seq)
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestParallelAnalyticsSmallAndEmptyGraphs(t *testing.T) {
+	empty := New(0, 0)
+	if empty.TrianglesWith(8) != 0 || empty.WedgesWith(8) != 0 {
+		t.Fatal("empty graph analytics must be zero")
+	}
+	if got := empty.LocalClusteringAllWith(8); len(got) != 0 {
+		t.Fatal("empty graph clustering must be empty")
+	}
+	// A triangle plus a pendant: small enough for the sequential fallback but
+	// still asserting the With API gives exact answers.
+	g := FromEdges(4, 0, []Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if got := g.TrianglesWith(8); got != 1 {
+		t.Fatalf("Triangles = %d, want 1", got)
+	}
+	if got := g.WedgesWith(8); got != 1+1+3 {
+		t.Fatalf("Wedges = %d, want 5", got)
+	}
+}
+
+func TestDegreeWeightedShardsBalanceSkewedGraph(t *testing.T) {
+	// One massive hub: even node-count shards would put the whole hub row in
+	// one shard; degree-weighted shards must split the remaining mass so no
+	// shard (beyond the unsplittable hub itself) dominates.
+	n := 20000
+	edges := make([]Edge, 0, 3*n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: 0, V: i}) // hub
+	}
+	rng := rand.New(rand.NewSource(11))
+	for k := 0; k < 2*n; k++ {
+		edges = append(edges, Edge{U: 1 + rng.Intn(n-1), V: 1 + rng.Intn(n-1)})
+	}
+	g := FromEdges(n, 0, edges)
+	shards := parallel.SplitWeighted(g.offsets, 8)
+	total := g.offsets[n]
+	var maxRow int64
+	for i := 0; i < n; i++ {
+		if d := g.offsets[i+1] - g.offsets[i]; d > maxRow {
+			maxRow = d
+		}
+	}
+	for _, r := range shards {
+		w := g.offsets[r.Hi] - g.offsets[r.Lo]
+		if w > total/8+maxRow {
+			t.Fatalf("shard %+v carries weight %d of %d (max row %d): unbalanced", r, w, total, maxRow)
+		}
+	}
+	// And the sharded analytics still agree on this pathological shape.
+	if seq, par := g.TrianglesWith(1), g.TrianglesWith(8); seq != par {
+		t.Fatalf("hub graph: parallel triangles %d != sequential %d", par, seq)
+	}
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkCover asserts the ranges tile [0, n) in ascending order without gaps,
+// overlaps or empties.
+func checkCover(t *testing.T, ranges []Range, n int) {
+	t.Helper()
+	lo := 0
+	for i, r := range ranges {
+		if r.Lo != lo {
+			t.Fatalf("range %d starts at %d, want %d", i, r.Lo, lo)
+		}
+		if r.Len() <= 0 {
+			t.Fatalf("range %d is empty: %+v", i, r)
+		}
+		lo = r.Hi
+	}
+	if lo != n {
+		t.Fatalf("ranges end at %d, want %d", lo, n)
+	}
+}
+
+func TestSplitCoversEvenly(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{10, 3}, {10, 10}, {10, 25}, {1, 4}, {1000, 7},
+	} {
+		ranges := Split(tc.n, tc.shards)
+		checkCover(t, ranges, tc.n)
+		want := tc.shards
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(ranges) != want {
+			t.Fatalf("Split(%d,%d): %d ranges, want %d", tc.n, tc.shards, len(ranges), want)
+		}
+		for _, r := range ranges {
+			if r.Len() > tc.n/want+1 {
+				t.Fatalf("Split(%d,%d): uneven range %+v", tc.n, tc.shards, r)
+			}
+		}
+	}
+	if Split(0, 4) != nil || Split(-3, 4) != nil {
+		t.Fatal("Split of an empty index space must be nil")
+	}
+}
+
+// prefixSum builds the inclusive prefix-sum array SplitWeighted consumes.
+func prefixSum(weights []int64) []int64 {
+	cum := make([]int64, len(weights)+1)
+	for i, w := range weights {
+		cum[i+1] = cum[i] + w
+	}
+	return cum
+}
+
+func TestSplitWeightedBalancesSkewedWeights(t *testing.T) {
+	// A hub-heavy weight profile: mostly light items with a few huge hubs, the
+	// degree shape that defeats even node-count splitting.
+	rng := rand.New(rand.NewSource(7))
+	n := 10000
+	weights := make([]int64, n)
+	var total int64
+	for i := range weights {
+		weights[i] = 1 + int64(rng.Intn(5))
+		if i%997 == 0 {
+			weights[i] = 4000
+		}
+		total += weights[i]
+	}
+	cum := prefixSum(weights)
+	var maxSingle int64
+	for _, w := range weights {
+		if w > maxSingle {
+			maxSingle = w
+		}
+	}
+	for _, shards := range []int{2, 4, 8, 16} {
+		ranges := SplitWeighted(cum, shards)
+		checkCover(t, ranges, n)
+		ideal := total / int64(shards)
+		for _, r := range ranges {
+			w := cum[r.Hi] - cum[r.Lo]
+			// A shard can overshoot the ideal by at most one item's weight.
+			if w > ideal+maxSingle {
+				t.Fatalf("shards=%d: range %+v carries weight %d, ideal %d (max item %d)",
+					shards, r, w, ideal, maxSingle)
+			}
+		}
+	}
+}
+
+func TestSplitWeightedUniformMatchesSplit(t *testing.T) {
+	n := 64
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = 3
+	}
+	ranges := SplitWeighted(prefixSum(weights), 4)
+	checkCover(t, ranges, n)
+	for _, r := range ranges {
+		if r.Len() != 16 {
+			t.Fatalf("uniform weights split unevenly: %+v", ranges)
+		}
+	}
+}
+
+func TestSplitWeightedDegenerateCases(t *testing.T) {
+	if SplitWeighted([]int64{0}, 4) != nil {
+		t.Fatal("empty index space must give nil")
+	}
+	// All-zero weights: one range covering everything.
+	ranges := SplitWeighted(prefixSum(make([]int64, 9)), 4)
+	if len(ranges) != 1 || ranges[0] != (Range{Lo: 0, Hi: 9}) {
+		t.Fatalf("zero-weight split = %+v", ranges)
+	}
+	// Single dominant item: every shard stays non-empty and covers [0, n).
+	ranges = SplitWeighted(prefixSum([]int64{0, 0, 100, 0, 0}), 3)
+	checkCover(t, ranges, 5)
+	// More shards than items collapses to per-item ranges at most.
+	ranges = SplitWeighted(prefixSum([]int64{5, 5}), 9)
+	checkCover(t, ranges, 2)
+	if len(ranges) > 2 {
+		t.Fatalf("got %d ranges for 2 items", len(ranges))
+	}
+}

@@ -12,6 +12,11 @@
 // and every Get decodes a fresh copy, so no caller can mutate registry state
 // through a shared pointer. IDs are content addresses (core.ModelID): putting
 // the same parameters twice yields the same ID and a single stored entry.
+//
+// The registry also caches each model's fitted acceptance table (Acceptance /
+// SetAcceptance, the engine.AcceptanceCache interface), so the sampling
+// engine refines a model's acceptance filter once instead of on every sample;
+// the table is dropped when its model is evicted.
 package registry
 
 import (
@@ -52,11 +57,13 @@ type Info struct {
 }
 
 // entry is one resident model: its canonical bytes, a decoded copy for the
-// hot serving path, and cached metadata.
+// hot serving path, cached metadata, and — once a sampler has fitted one —
+// the model's acceptance table.
 type entry struct {
 	data    []byte
 	decoded *core.FittedModel
 	info    Info
+	accept  []float64
 }
 
 // Registry is a thread-safe, content-addressed store of fitted models. The
@@ -284,6 +291,37 @@ func (r *Registry) Bytes(id string) ([]byte, bool) {
 	out := make([]byte, len(e.data))
 	copy(out, e.data)
 	return out, true
+}
+
+// Acceptance returns the cached acceptance table of a stored model, if one
+// has been fitted. The returned slice is shared and MUST be treated as
+// read-only (it can be large — O(4^w) — so hot paths avoid copying). The
+// registry implements engine.AcceptanceCache with this pair of methods.
+func (r *Registry) Acceptance(id string) ([]float64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	if !ok || e.accept == nil {
+		return nil, false
+	}
+	return e.accept, true
+}
+
+// SetAcceptance stores the acceptance table of a resident model, reporting
+// whether the model exists. The table lives and dies with the model entry:
+// evicting the model (explicitly or by the MaxModels bound) drops the table
+// with it, so a re-fitted model can never serve a stale table. Tables are
+// in-memory only — they are cheap to re-fit and deterministic per model, so
+// persisting them would buy nothing.
+func (r *Registry) SetAcceptance(id string, table []float64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	e.accept = table
+	return true
 }
 
 // Stat returns the listing metadata of one stored model.

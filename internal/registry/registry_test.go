@@ -282,3 +282,68 @@ func TestClockStampsCreatedAt(t *testing.T) {
 		t.Fatalf("CreatedAt = %v, want %v", info.CreatedAt, now)
 	}
 }
+
+func TestAcceptanceTableLifecycle(t *testing.T) {
+	r, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fixtureModel(t, 9)
+	id, err := r.Put(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Acceptance(id); ok {
+		t.Fatal("fresh model must have no acceptance table")
+	}
+	if r.SetAcceptance("no-such-model", []float64{1}) {
+		t.Fatal("SetAcceptance accepted an unknown model ID")
+	}
+	table := []float64{0.5, 1, 0.25}
+	if !r.SetAcceptance(id, table) {
+		t.Fatal("SetAcceptance rejected a resident model")
+	}
+	got, ok := r.Acceptance(id)
+	if !ok || len(got) != len(table) || got[0] != 0.5 {
+		t.Fatalf("Acceptance = %v, %v", got, ok)
+	}
+	// Eviction must drop the table with the model: a later re-fit of the same
+	// parameters re-inserts the model under the same content address, and it
+	// must come back table-less.
+	if !r.Evict(id) {
+		t.Fatal("Evict failed")
+	}
+	if _, ok := r.Acceptance(id); ok {
+		t.Fatal("acceptance table survived model eviction")
+	}
+	id2, err := r.Put(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("content address changed across re-put: %s vs %s", id2, id)
+	}
+	if _, ok := r.Acceptance(id2); ok {
+		t.Fatal("re-put model inherited a stale acceptance table")
+	}
+}
+
+func TestAcceptanceTableDroppedByBoundedEviction(t *testing.T) {
+	r, err := Open(Options{MaxModels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Put(fixtureModel(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SetAcceptance(first, []float64{1}) {
+		t.Fatal("SetAcceptance failed")
+	}
+	if _, err := r.Put(fixtureModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Acceptance(first); ok {
+		t.Fatal("bounded eviction left the old model's acceptance table behind")
+	}
+}

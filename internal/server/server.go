@@ -336,13 +336,16 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 // sampleRequest is the POST /sample body. Format selects the response shape:
 // "json" (default) inlines the graph as a graphPayload; "text" streams the
 // agmdp graph text format (deterministic and byte-identical for equal seeds);
-// "summary" returns statistics only.
+// "summary" returns statistics only. Parallelism overrides the engine's
+// intra-job stream count for this sample (0 = engine default, 1 = sequential);
+// seeded samples reproduce only at equal parallelism.
 type sampleRequest struct {
-	ID         string `json:"id"`
-	Seed       int64  `json:"seed,omitempty"`
-	Iterations int    `json:"iterations,omitempty"`
-	Model      string `json:"model,omitempty"`
-	Format     string `json:"format,omitempty"`
+	ID          string `json:"id"`
+	Seed        int64  `json:"seed,omitempty"`
+	Iterations  int    `json:"iterations,omitempty"`
+	Model       string `json:"model,omitempty"`
+	Format      string `json:"format,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
 }
 
 // sampleResponse is the POST /sample body for the json and summary formats.
@@ -378,11 +381,18 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "negative parallelism %d", req.Parallelism)
+		return
+	}
 	g, seed, err := s.cfg.Engine.SampleSeeded(ctx, engine.Request{
-		Model:      m,
-		Seed:       req.Seed,
-		Iterations: req.Iterations,
-		ModelKind:  req.Model,
+		Model:       m,
+		Seed:        req.Seed,
+		Iterations:  req.Iterations,
+		ModelKind:   req.Model,
+		Parallelism: req.Parallelism,
+		// The registry ID keys the engine's acceptance-table cache.
+		CacheKey: req.ID,
 	})
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

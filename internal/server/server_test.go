@@ -355,3 +355,89 @@ func TestSampleEchoesDrawnSeed(t *testing.T) {
 		t.Fatalf("replaying reported seed %d gave %+v, want %+v", sr.Seed, rr, sr)
 	}
 }
+
+// newCachedTestServer mirrors the production wiring of cmd/agmdp-serve: the
+// registry doubles as the engine's acceptance-table cache.
+func newCachedTestServer(t *testing.T) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, Seed: 1, Acceptance: reg})
+	t.Cleanup(eng.Close)
+	srv, err := New(Config{Registry: reg, Engine: eng, SampleTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func TestSampleUsesAcceptanceCacheDeterministically(t *testing.T) {
+	ts, reg := newCachedTestServer(t)
+	id := fitDataset(t, ts, 1.0)
+	fetch := func() []byte {
+		resp := postJSON(t, ts.URL+"/sample", map[string]any{"id": id, "seed": 21, "format": "text"})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cold := fetch()
+	if _, ok := reg.Acceptance(id); !ok {
+		t.Fatal("default-shaped sample did not populate the acceptance cache")
+	}
+	if warm := fetch(); !bytes.Equal(cold, warm) {
+		t.Fatal("warm acceptance cache changed a seeded sample")
+	}
+	// Evicting the model drops the table; re-fitting the same input brings
+	// back the same content address and the samples stay reproducible.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/models/"+id, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("evict failed: %v %v", err, resp.StatusCode)
+	}
+	if id2 := fitDataset(t, ts, 1.0); id2 != id {
+		t.Fatalf("re-fit changed the model ID: %s vs %s", id2, id)
+	}
+	if refit := fetch(); !bytes.Equal(cold, refit) {
+		t.Fatal("re-fitted model produced a different seeded sample")
+	}
+}
+
+func TestSampleParallelismField(t *testing.T) {
+	ts, _ := newCachedTestServer(t)
+	id := fitDataset(t, ts, 1.0)
+	fetch := func(par int) []byte {
+		resp := postJSON(t, ts.URL+"/sample", map[string]any{
+			"id": id, "seed": 23, "format": "text", "parallelism": par,
+		})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// Equal seeds at equal parallelism are byte-identical.
+	if !bytes.Equal(fetch(2), fetch(2)) {
+		t.Fatal("same seed + same parallelism gave different samples")
+	}
+	// Negative parallelism is rejected.
+	resp := postJSON(t, ts.URL+"/sample", map[string]any{"id": id, "seed": 1, "parallelism": -2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative parallelism: status %d, want 400", resp.StatusCode)
+	}
+}

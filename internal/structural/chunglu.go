@@ -17,12 +17,13 @@ const maxProposalFactor = 60
 // attempt to reproduce clustering. It is the simple structural model the paper
 // evaluates as AGM-FCL / AGMDP-FCL.
 //
-// The zero value generates sequentially. Setting Parallelism > 1 proposes
-// edges from that many concurrent streams (see GenerateCLParallel); output
-// remains deterministic for a fixed (seed, Parallelism) pair.
+// The zero value proposes edges from the process-default number of concurrent
+// streams (see GenerateCLParallel and parallel.Resolve); output remains
+// deterministic for a fixed (seed, resolved worker count) pair.
 type FCL struct {
-	// Parallelism is the number of concurrent edge-proposal streams; values
-	// below 2 select the sequential generator.
+	// Parallelism is the number of concurrent edge-proposal streams: ≤ 0
+	// means "auto" (the process default, runtime.GOMAXPROCS unless overridden
+	// with parallel.SetParallelism), 1 forces the sequential generator.
 	Parallelism int
 }
 

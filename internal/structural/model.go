@@ -73,9 +73,10 @@ func (p Params) Validate(n int) error {
 // ByName resolves a structural model from a user-facing or fitted name:
 // "tricycle"/"tricl"/"TriCycLe", "fcl", or "tcl", case-insensitively; the
 // empty string selects TriCycLe. parallelism configures the resolved model's
-// concurrent edge-proposal streams where the model supports them. It is the
-// single resolver shared by the facade, the engine and the HTTP API, so the
-// accepted spellings cannot drift apart between fitting and sampling.
+// concurrent proposal streams where the model supports them (≤ 0 means
+// "auto", 1 forces sequential generation). It is the single resolver shared
+// by the facade, the engine and the HTTP API, so the accepted spellings
+// cannot drift apart between fitting and sampling.
 func ByName(name string, parallelism int) (Model, error) {
 	switch strings.ToLower(name) {
 	case "", "tricycle", "tricl":
@@ -86,6 +87,24 @@ func ByName(name string, parallelism int) (Model, error) {
 		return TCL{}, nil
 	default:
 		return nil, fmt.Errorf("structural: unknown model %q (want tricycle, fcl or tcl)", name)
+	}
+}
+
+// WithParallelism returns a copy of the model with its parallelism knob set
+// to n; models without a knob are returned unchanged. It lives next to
+// ByName so a new model with concurrent streams gets added to both switches
+// together — callers (e.g. the acceptance-table fitter, which pins n = 1 for
+// host-independent output) rely on this covering every parallel model.
+func WithParallelism(m Model, n int) Model {
+	switch t := m.(type) {
+	case TriCycLe:
+		t.Parallelism = n
+		return t
+	case FCL:
+		t.Parallelism = n
+		return t
+	default:
+		return m
 	}
 }
 

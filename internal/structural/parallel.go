@@ -2,22 +2,26 @@ package structural
 
 import (
 	"math/rand"
-	"sync"
 
 	"agmdp/internal/graph"
+	"agmdp/internal/parallel"
 )
 
-// minParallelEdges is the edge-count threshold below which GenerateCLParallel
-// falls back to the sequential generator: for small targets the goroutine and
-// merge overhead exceeds the sampling work itself.
-const minParallelEdges = 4096
+// minParallelEdges is the edge-count threshold below which the parallel
+// generators (seed sampling and TriCycLe rewiring alike) fall back to their
+// sequential paths: for small targets the fan-out and merge overhead exceeds
+// the sampling work itself.
+const minParallelEdges = parallel.MinShardEdges
 
 // GenerateCLParallel samples a Chung–Lu graph like GenerateCL but proposes
-// edges from `workers` concurrent streams. Determinism is preserved in a
-// slightly weaker but well-defined form: the output depends only on
-// (rng state, n, sampler, targetEdges, filter, workers) — the same seed with
-// the same worker count always reproduces the same graph, while different
-// worker counts are different (equally valid) draws from the model.
+// edges from `workers` concurrent streams on the shared pool
+// (internal/parallel); workers ≤ 0 means "auto" (the process default,
+// runtime.GOMAXPROCS unless overridden with parallel.SetParallelism) and 1
+// forces the sequential generator. Determinism is preserved in a slightly
+// weaker but well-defined form: the output depends only on (rng state, n,
+// sampler, targetEdges, filter, resolved workers) — the same seed with the
+// same worker count always reproduces the same graph, while different worker
+// counts are different (equally valid) draws from the model.
 //
 // The construction keeps the merge deterministic despite concurrent
 // execution: worker i draws from its own rand.Rand seeded by the i-th value
@@ -27,10 +31,12 @@ const minParallelEdges = 4096
 // pass (with its own pre-drawn seed) then fills any shortfall those
 // duplicates caused.
 //
-// When workers > 1 the filter may be called from multiple goroutines
-// concurrently and must be safe for concurrent use; the filters built by the
-// AGM-DP sampler only read shared slices, so they qualify.
+// When the resolved worker count exceeds 1 the filter may be called from
+// multiple goroutines concurrently and must be safe for concurrent use; the
+// filters built by the AGM-DP sampler only read shared slices, so they
+// qualify.
 func GenerateCLParallel(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges int, filter EdgeFilter, workers int) *graph.Graph {
+	workers = parallel.Resolve(workers)
 	if workers <= 1 || targetEdges < minParallelEdges {
 		return GenerateCL(rng, n, sampler, targetEdges, filter)
 	}
@@ -42,6 +48,7 @@ func GenerateCLParallel(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges
 // worker edge lists are packed into builder rows once (FromEdgesBuilder), and
 // the top-up pass mutates those rows in place — no intermediate graph copies.
 func generateCLParallelBuilder(rng *rand.Rand, n int, sampler *NodeSampler, targetEdges int, filter EdgeFilter, workers int) *graph.Builder {
+	workers = parallel.Resolve(workers)
 	if workers <= 1 || targetEdges < minParallelEdges {
 		return generateCLBuilder(rng, n, sampler, targetEdges, filter)
 	}
@@ -61,12 +68,13 @@ func generateCLParallelBuilder(rng *rand.Rand, n int, sampler *NodeSampler, targ
 	return b
 }
 
-// proposeEdgesParallel fans the proposal loop out over `workers` goroutines and
-// returns the concatenation of their edge lists (still containing cross-worker
-// duplicates) plus the pre-drawn seed for the sequential top-up pass.
+// proposeEdgesParallel fans the proposal loop out over `workers` tasks on the
+// shared pool and returns the concatenation of their edge lists (still
+// containing cross-worker duplicates) plus the pre-drawn seed for the
+// sequential top-up pass.
 func proposeEdgesParallel(rng *rand.Rand, sampler *NodeSampler, targetEdges int, filter EdgeFilter, workers int) ([]graph.Edge, int64) {
-	// Draw every seed before any goroutine starts so the parent rng is
-	// consumed identically regardless of scheduling.
+	// Draw every seed before any task starts so the parent rng is consumed
+	// identically regardless of scheduling.
 	seeds := make([]int64, workers)
 	for i := range seeds {
 		seeds[i] = rng.Int63()
@@ -85,15 +93,9 @@ func proposeEdgesParallel(rng *rand.Rand, sampler *NodeSampler, targetEdges int,
 	}
 
 	results := make([][]graph.Edge, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			results[w] = proposeEdges(rand.New(rand.NewSource(seeds[w])), sampler, shards[w], filter)
-		}(i)
-	}
-	wg.Wait()
+	parallel.Do(workers, func(w int) {
+		results[w] = proposeEdges(rand.New(rand.NewSource(seeds[w])), sampler, shards[w], filter)
+	})
 
 	merged := make([]graph.Edge, 0, targetEdges)
 	for _, edges := range results {

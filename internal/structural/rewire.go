@@ -1,0 +1,142 @@
+package structural
+
+import (
+	"math/rand"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/parallel"
+)
+
+// rewireProposal is one triangle-closing swap candidate produced by a
+// proposal worker against the frozen snapshot.
+type rewireProposal struct {
+	vi, vj int32
+}
+
+// rewireParallel is the batched, multi-stream variant of TriCycLe's rewiring
+// phase. Each round freezes the builder into an immutable CSR snapshot (safe
+// for unrestricted concurrent reads), fans the proposal loop — π draws,
+// two-hop sampling, duplicate checks and filter rolls, which dominate the
+// sequential loop's cost — out over `workers` streams on the shared pool, and
+// then applies the collected candidates in a single deterministic merge.
+//
+// Determinism contract (same as GenerateCLParallel): the output depends only
+// on (rng state, builder state, sampler, filter, target, workers). All worker
+// seeds are pre-drawn from the parent rng before any goroutine starts, each
+// worker derives its proposals from its own rand.Rand, worker results land in
+// per-worker slots, and the merge walks them in (worker, proposal) order with
+// no further randomness — so the same seed and worker count always reproduce
+// the same graph, while different worker counts are different, equally valid
+// draws from the model.
+//
+// The merge is conflict-detecting: a candidate touching a node already
+// involved in a swap applied earlier in the same batch is skipped, keeping
+// the applied swaps consistent with the snapshot the workers evaluated them
+// against. Accepted swaps recompute both common-neighbour counts on the live
+// builder, so the running triangle count stays exact and the accept rule
+// (cnNew ≥ cnOld against the current oldest edge) is identical to the
+// sequential loop's.
+func rewireParallel(rng *rand.Rand, b *graph.Builder, sampler *NodeSampler, filter EdgeFilter, target int64, proposalFactor, workers int) {
+	queue := newEdgeQueue(b)
+	tau := b.Triangles()
+	missing := target - tau
+	if missing < 0 {
+		missing = 0
+	}
+	// Same budget and stall accounting as the sequential loop, charged per
+	// proposal attempt across all workers.
+	maxProposals := proposalFactor*(b.NumEdges()+1) + int(50*missing)
+	stallLimit := 20*(b.NumEdges()+1) + 20000
+	stalled := 0
+
+	// Batch size: large enough to amortise the O(n+m) snapshot freeze over
+	// the proposal work, small enough that the snapshot the workers see does
+	// not go too stale (stale proposals fail the merge's conflict checks and
+	// waste budget).
+	batch := 128 * workers
+	if min := b.NumEdges() / 8; batch < min {
+		batch = min
+	}
+
+	touched := make(map[int32]struct{}, 4*workers)
+	for proposals := 0; tau < target && proposals < maxProposals && stalled < stallLimit; {
+		snap := b.Finalize()
+		// Pre-draw every worker seed so the parent rng is consumed identically
+		// regardless of scheduling.
+		seeds := make([]int64, workers)
+		for i := range seeds {
+			seeds[i] = rng.Int63()
+		}
+		shares := parallel.Split(batch, workers)
+		found := make([][]rewireProposal, len(shares))
+		parallel.Do(len(shares), func(w int) {
+			found[w] = proposeRewires(rand.New(rand.NewSource(seeds[w])), snap, sampler, filter, shares[w].Len())
+		})
+		proposals += batch
+		stalled += batch
+
+		clear(touched)
+		for _, candidates := range found {
+			for _, c := range candidates {
+				if tau >= target {
+					return
+				}
+				if _, hot := touched[c.vi]; hot {
+					continue
+				}
+				if _, hot := touched[c.vj]; hot {
+					continue
+				}
+				vi, vj := int(c.vi), int(c.vj)
+				if b.HasEdge(vi, vj) {
+					continue
+				}
+				oldest, ok := queue.popOldest(b)
+				if !ok {
+					return
+				}
+				cnOld := b.CommonNeighbors(oldest.U, oldest.V)
+				b.RemoveEdge(oldest.U, oldest.V)
+				cnNew := b.CommonNeighbors(vi, vj)
+				if cnNew >= cnOld {
+					b.AddEdge(vi, vj)
+					queue.push(graph.Edge{U: vi, V: vj})
+					tau += int64(cnNew - cnOld)
+					touched[c.vi] = struct{}{}
+					touched[c.vj] = struct{}{}
+					touched[int32(oldest.U)] = struct{}{}
+					touched[int32(oldest.V)] = struct{}{}
+					if cnNew > cnOld {
+						stalled = 0
+					}
+				} else {
+					// Undo the deletion; the restored edge becomes the
+					// youngest so the merge cannot immediately re-pick it.
+					b.AddEdge(oldest.U, oldest.V)
+					queue.push(oldest)
+				}
+			}
+		}
+	}
+}
+
+// proposeRewires runs one worker's proposal loop against the frozen snapshot:
+// transitive-edge draws with self-loops, existing edges and filter rejections
+// discarded. It returns the surviving candidates in proposal order.
+func proposeRewires(rng *rand.Rand, snap *graph.Graph, sampler *NodeSampler, filter EdgeFilter, attempts int) []rewireProposal {
+	out := make([]rewireProposal, 0, 16)
+	for k := 0; k < attempts; k++ {
+		vi := sampler.Sample(rng)
+		vj := sampleTwoHop(rng, snap, vi)
+		if vj < 0 || vi == vj || snap.HasEdge(vi, vj) {
+			continue
+		}
+		// AGM-DP integration (footnote 4): the acceptance probabilities apply
+		// to the transitive proposals as well as to the seed edges.
+		if !acceptEdge(rng, filter, vi, vj) {
+			continue
+		}
+		out = append(out, rewireProposal{vi: int32(vi), vj: int32(vj)})
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"agmdp/internal/graph"
+	"agmdp/internal/parallel"
 )
 
 // TriCycLe is the structural model introduced by the paper (Algorithm 1). It
@@ -24,11 +25,15 @@ type TriCycLe struct {
 	DisablePostProcess bool
 	// MaxProposalFactor overrides the default proposal budget multiplier.
 	MaxProposalFactor int
-	// Parallelism is the number of concurrent edge-proposal streams used for
-	// the Chung–Lu seed graph; values below 2 generate sequentially. The
-	// triangle-rewiring phase is inherently sequential (each proposal depends
-	// on the current edge set and triangle count) and is unaffected. Output is
-	// deterministic for a fixed (seed, Parallelism) pair.
+	// Parallelism is the number of concurrent streams used for both the
+	// Chung–Lu seed graph and the batched triangle-rewiring phase. Values ≤ 0
+	// mean "auto" (the process default, runtime.GOMAXPROCS by default); 1
+	// forces sequential generation. Output is deterministic for a fixed
+	// (seed, resolved worker count) pair; different worker counts are
+	// different, equally valid draws from the model. With more than one
+	// stream the filter may be called from multiple goroutines and must be
+	// safe for concurrent use (AGM-DP's filters are: they only read shared
+	// slices).
 	Parallelism int
 }
 
@@ -46,6 +51,7 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		proposalFactor = maxProposalFactor
 	}
 	postProcess := !t.DisablePostProcess
+	workers := parallel.Resolve(t.Parallelism)
 
 	degrees := params.Degrees
 	totalEdges := sumDegrees(degrees) / 2
@@ -68,7 +74,7 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		seedTarget = 0
 	}
 
-	b := generateCLParallelBuilder(rng, n, sampler, seedTarget, filter, t.Parallelism)
+	b := generateCLParallelBuilder(rng, n, sampler, seedTarget, filter, workers)
 	if postProcess {
 		PostProcessGraph(rng, b, sampler, degrees, filter)
 	}
@@ -76,20 +82,36 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		return b.Finalize()
 	}
 
+	if workers > 1 && b.NumEdges() >= minParallelEdges {
+		rewireParallel(rng, b, sampler, filter, params.Triangles, proposalFactor, workers)
+	} else {
+		rewireSequential(rng, b, sampler, filter, params.Triangles, proposalFactor)
+	}
+
+	if postProcess {
+		PostProcessGraph(rng, b, sampler, degrees, filter)
+	}
+	return b.Finalize()
+}
+
+// rewireSequential is the paper's single-stream rewiring loop (Algorithm 1,
+// lines 5–13): propose a transitive edge, delete the oldest edge, keep the
+// replacement only if the triangle count does not decrease.
+func rewireSequential(rng *rand.Rand, b *graph.Builder, sampler *NodeSampler, filter EdgeFilter, target int64, proposalFactor int) {
 	queue := newEdgeQueue(b)
 	tau := b.Triangles()
 	// Proposal budget: enough to rewire every edge several times plus extra
 	// headroom proportional to the number of triangles still missing. A stall
 	// counter additionally aborts the loop when the triangle count has stopped
 	// improving, so unreachable targets terminate quickly.
-	missing := params.Triangles - tau
+	missing := target - tau
 	if missing < 0 {
 		missing = 0
 	}
 	maxProposals := proposalFactor*(b.NumEdges()+1) + int(50*missing)
 	stallLimit := 20*(b.NumEdges()+1) + 20000
 	stalled := 0
-	for proposals := 0; tau < params.Triangles && proposals < maxProposals && stalled < stallLimit; proposals++ {
+	for proposals := 0; tau < target && proposals < maxProposals && stalled < stallLimit; proposals++ {
 		stalled++
 		vi := sampler.Sample(rng)
 		vj := sampleTwoHop(rng, b, vi)
@@ -122,9 +144,4 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 			queue.push(oldest)
 		}
 	}
-
-	if postProcess {
-		PostProcessGraph(rng, b, sampler, degrees, filter)
-	}
-	return b.Finalize()
 }
