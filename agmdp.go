@@ -30,6 +30,7 @@ import (
 	"agmdp/internal/engine"
 	"agmdp/internal/experiments"
 	"agmdp/internal/graph"
+	"agmdp/internal/graphstore"
 	"agmdp/internal/parallel"
 	"agmdp/internal/registry"
 	"agmdp/internal/structural"
@@ -81,6 +82,16 @@ func SaveGraph(g *Graph, path string) error { return graph.SaveGraph(g, path) }
 // LoadEdgeList reads a plain whitespace-separated edge list (without
 // attributes) from a file.
 func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// SaveGraphBinary writes an attributed graph to a file as a binary CSR
+// snapshot — the compact, canonical format the graph store and the service's
+// binary wire format use. Binary snapshots encode and decode an order of
+// magnitude faster than the text format on large graphs.
+func SaveGraphBinary(g *Graph, path string) error { return graph.SaveBinary(g, path) }
+
+// LoadGraphBinary reads a graph from a binary CSR snapshot file, fully
+// validating the structural invariants before returning it.
+func LoadGraphBinary(path string) (*Graph, error) { return graph.LoadBinary(path) }
 
 // ModelKind selects the structural model used by Fit/Synthesize.
 type ModelKind string
@@ -241,6 +252,22 @@ type ModelInfo = registry.Info
 // fits survive process restarts.
 func NewRegistry(opts RegistryOptions) (*Registry, error) { return registry.Open(opts) }
 
+// GraphStore is a thread-safe, content-addressed store of immutable graphs
+// with optional on-disk persistence as binary CSR snapshots; see
+// NewGraphStore.
+type GraphStore = graphstore.Store
+
+// GraphStoreOptions configures NewGraphStore.
+type GraphStoreOptions = graphstore.Options
+
+// GraphInfo summarises one stored graph in graph-store listings.
+type GraphInfo = graphstore.Info
+
+// NewGraphStore opens a graph store. With a non-empty Dir every stored graph
+// is persisted as a <id>.csr binary snapshot and reloaded on the next open,
+// so uploaded graphs survive service restarts.
+func NewGraphStore(opts GraphStoreOptions) (*GraphStore, error) { return graphstore.Open(opts) }
+
 // Engine is a concurrent sampling worker pool over fitted models; see
 // NewEngine.
 type Engine = engine.Engine
@@ -271,7 +298,8 @@ func Datasets() []DatasetProfile { return datasets.AllProfiles() }
 
 // GenerateDataset builds one synthetic dataset by name ("lastfm", "petster",
 // "epinions", "pokec") at the given scale (0 < scale ≤ 1; zero selects the
-// profile's default scale) with a deterministic seed.
+// profile's default scale) with a deterministic seed. Scales outside (0, 1]
+// are rejected with an error, the same validation the HTTP service applies.
 func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
 	p, err := datasets.ByName(name)
 	if err != nil {
@@ -279,6 +307,9 @@ func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
 	}
 	if scale <= 0 {
 		scale = p.DefaultScale
+	}
+	if err := datasets.CheckScale(scale); err != nil {
+		return nil, err
 	}
 	return datasets.Generate(dp.NewRand(seed), p.Scaled(scale)), nil
 }

@@ -3,6 +3,7 @@ package agmdp
 import (
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -50,6 +51,57 @@ func TestDatasetsListing(t *testing.T) {
 	}
 	if g.NumNodes() == 0 {
 		t.Fatal("default-scale dataset is empty")
+	}
+}
+
+// TestGenerateDatasetRejectsOversizedScale pins the facade to the same
+// (0, 1] scale validation the HTTP service applies, with a clear error.
+func TestGenerateDatasetRejectsOversizedScale(t *testing.T) {
+	for _, scale := range []float64{1.0001, 2, 100} {
+		if _, err := GenerateDataset("lastfm", scale, 1); err == nil {
+			t.Fatalf("scale %v accepted, want an error", scale)
+		} else if !strings.Contains(err.Error(), "(0, 1]") {
+			t.Fatalf("scale %v error %q does not state the valid range", scale, err)
+		}
+	}
+	if _, err := GenerateDataset("lastfm", 1, 1); err != nil {
+		t.Fatalf("full scale rejected: %v", err)
+	}
+}
+
+func TestBinarySnapshotFacadeRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := SaveGraphBinary(g, path); err != nil {
+		t.Fatalf("SaveGraphBinary: %v", err)
+	}
+	back, err := LoadGraphBinary(path)
+	if err != nil {
+		t.Fatalf("LoadGraphBinary: %v", err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("binary facade round trip lost information")
+	}
+}
+
+func TestGraphStoreFacade(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewGraphStore(GraphStoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("NewGraphStore: %v", err)
+	}
+	g := testGraph(t)
+	id, err := s.Put(g)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	reopened, err := NewGraphStore(GraphStoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	back, ok := reopened.Get(id)
+	if !ok || !g.Equal(back) {
+		t.Fatal("graph store did not persist the graph across opens")
 	}
 }
 

@@ -6,19 +6,31 @@
 //
 // Usage:
 //
-//	agmdp-serve [-addr :8080] [-store DIR] [-workers N] [-queue N] [-parallelism N] [-seed 1] [-max-models N]
+//	agmdp-serve [-addr :8080] [-store DIR] [-graph-store DIR] [-workers N] [-queue N]
+//	            [-parallelism N] [-seed 1] [-max-models N] [-max-graphs N]
+//	            [-jobs-retain N] [-max-job-samples N]
 //
-// Endpoints:
+// The service speaks the versioned, resource-oriented /v1 API (see
+// docs/api.md for the full reference):
 //
-//	POST   /fit          fit a model from an inline graph or a named dataset
-//	POST   /sample       sample a synthetic graph from a stored model
-//	GET    /models       list stored models
-//	GET    /models/{id}  model metadata (?full=1 for the serialized model)
-//	DELETE /models/{id}  evict a model
-//	GET    /healthz      service health and engine load
+//	POST   /v1/graphs        upload a graph (JSON, agmdp text, or binary CSR)
+//	GET    /v1/graphs[/{id}] list graphs / stat one (?format=json|text|binary downloads)
+//	DELETE /v1/graphs/{id}   evict a graph
+//	POST   /v1/fit           fit a model from a stored graph, inline graph or dataset
+//	POST   /v1/sample        sample synchronously (inline, stored, text or binary)
+//	POST   /v1/jobs          submit an async batch sampling job
+//	GET    /v1/jobs[/{id}]   list jobs / poll progress and per-sample results
+//	DELETE /v1/jobs/{id}     cancel (or drop) a job
+//	GET    /v1/models[/{id}] list models / metadata (?full=1 for the serialized model)
+//	DELETE /v1/models/{id}   evict a model
+//	GET    /v1/healthz       service health, resource counts and engine load
+//
+// The original unversioned endpoints (/fit, /sample, /models…, /healthz)
+// remain as aliases of the v1 handlers.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests get
-// a drain window, then the engine stops after finishing queued jobs.
+// a drain window, running jobs are cancelled, then the engine stops after
+// finishing queued work.
 package main
 
 import (
@@ -36,6 +48,8 @@ import (
 	"time"
 
 	"agmdp/internal/engine"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/jobs"
 	"agmdp/internal/registry"
 	"agmdp/internal/server"
 )
@@ -68,13 +82,17 @@ func main() {
 func run(args []string, stdout io.Writer, ready func(addr string, stop func())) error {
 	fs := flag.NewFlagSet("agmdp-serve", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", ":8080", "listen address")
-		store       = fs.String("store", "", "model store directory (empty = in-memory only)")
-		workers     = fs.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
-		queue       = fs.Int("queue", 0, "job queue bound (0 = 4x workers)")
-		parallelism = fs.Int("parallelism", 0, "intra-job sampling streams (0 = auto/GOMAXPROCS, 1 = sequential)")
-		seed        = fs.Int64("seed", 1, "base seed for the per-worker RNG streams")
-		maxModels   = fs.Int("max-models", 0, "max resident models, oldest evicted first (0 = unbounded)")
+		addr          = fs.String("addr", ":8080", "listen address")
+		store         = fs.String("store", "", "model store directory (empty = in-memory only)")
+		graphStore    = fs.String("graph-store", "", "graph store directory for binary CSR snapshots (empty = in-memory only)")
+		workers       = fs.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
+		queue         = fs.Int("queue", 0, "job queue bound (0 = 4x workers)")
+		parallelism   = fs.Int("parallelism", 0, "intra-job sampling streams (0 = auto/GOMAXPROCS, 1 = sequential)")
+		seed          = fs.Int64("seed", 1, "base seed for the per-worker RNG streams")
+		maxModels     = fs.Int("max-models", 0, "max resident models, oldest evicted first (0 = unbounded)")
+		maxGraphs     = fs.Int("max-graphs", 0, "max resident graphs, oldest evicted first (0 = unbounded)")
+		jobsRetain    = fs.Int("jobs-retain", 0, "finished sampling jobs kept for result pickup (0 = default 64)")
+		maxJobSamples = fs.Int("max-job-samples", 0, "max samples per job (0 = default 1024)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -91,6 +109,13 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	for _, warning := range reg.LoadWarnings() {
 		log.Printf("agmdp-serve: skipped store file: %s", warning)
 	}
+	graphs, err := graphstore.Open(graphstore.Options{Dir: *graphStore, MaxGraphs: *maxGraphs})
+	if err != nil {
+		return err
+	}
+	for _, warning := range graphs.LoadWarnings() {
+		log.Printf("agmdp-serve: skipped graph snapshot: %s", warning)
+	}
 	eng := engine.New(engine.Config{
 		Workers:     *workers,
 		QueueSize:   *queue,
@@ -102,8 +127,28 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		Acceptance: reg,
 	})
 	defer eng.Close()
+	jobMgr, err := jobs.New(jobs.Options{
+		Engine: eng,
+		Store:  graphs,
+		Retain: *jobsRetain,
+		// Matches the server's default /sample deadline, so a wedged sample
+		// inside a batch job cannot occupy an engine worker forever.
+		SampleTimeout: time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	// Deferred after eng.Close, so running jobs are cancelled and drained
+	// before the engine shuts down.
+	defer jobMgr.Close()
 
-	srv, err := server.New(server.Config{Registry: reg, Engine: eng})
+	srv, err := server.New(server.Config{
+		Registry:      reg,
+		Engine:        eng,
+		Graphs:        graphs,
+		Jobs:          jobMgr,
+		MaxJobSamples: *maxJobSamples,
+	})
 	if err != nil {
 		return err
 	}
@@ -121,8 +166,8 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "agmdp-serve: listening on %s (store %q, %d models loaded)\n",
-		ln.Addr(), *store, reg.Len())
+	fmt.Fprintf(stdout, "agmdp-serve: listening on %s (store %q, %d models loaded; graph store %q, %d graphs loaded)\n",
+		ln.Addr(), *store, reg.Len(), *graphStore, graphs.Len())
 	if ready != nil {
 		ready(ln.Addr().String(), stop)
 	}

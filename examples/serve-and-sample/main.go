@@ -1,8 +1,12 @@
-// Command serve-and-sample drives the synthesis service end to end: it starts
-// the HTTP API in-process on an ephemeral port, fits one ε-DP model from a
-// calibrated dataset, then issues parallel sampling requests against the
-// stored model — the fit-once / serve-many workflow the post-processing
-// property of differential privacy enables (Algorithm 3 of the paper).
+// Command serve-and-sample drives the v1 synthesis service end to end: it
+// starts the HTTP API in-process on an ephemeral port, uploads a sensitive
+// graph once as a binary CSR snapshot, fits an ε-DP model from the stored
+// graph by ID, submits an asynchronous batch sampling job that stores its
+// samples back into the graph store, polls the job to completion, and
+// finally downloads one synthetic sample as a binary snapshot — the
+// fit-once / serve-many workflow the post-processing property of
+// differential privacy enables (Algorithm 3 of the paper), with no graph
+// ever travelling inline through a request body.
 //
 // Run with:
 //
@@ -17,10 +21,14 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"sync"
 	"time"
 
+	"agmdp/internal/datasets"
+	"agmdp/internal/dp"
 	"agmdp/internal/engine"
+	"agmdp/internal/graph"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/jobs"
 	"agmdp/internal/registry"
 	"agmdp/internal/server"
 )
@@ -32,14 +40,24 @@ func main() {
 }
 
 func run() error {
-	// 1. Assemble the service: in-memory registry + a 4-worker engine.
+	// 1. Assemble the service: in-memory registry + graph store, a 4-worker
+	// engine, and the async job manager.
 	reg, err := registry.Open(registry.Options{})
 	if err != nil {
 		return err
 	}
-	eng := engine.New(engine.Config{Workers: 4, Seed: 1})
+	store, err := graphstore.Open(graphstore.Options{})
+	if err != nil {
+		return err
+	}
+	eng := engine.New(engine.Config{Workers: 4, Seed: 1, Acceptance: reg})
 	defer eng.Close()
-	srv, err := server.New(server.Config{Registry: reg, Engine: eng})
+	mgr, err := jobs.New(jobs.Options{Engine: eng, Store: store})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	srv, err := server.New(server.Config{Registry: reg, Engine: eng, Graphs: store, Jobs: mgr})
 	if err != nil {
 		return err
 	}
@@ -54,11 +72,40 @@ func run() error {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("service listening on %s\n", base)
 
-	// 2. Fit once: a private TriCycLe model (ε = 1) on a Last.fm-calibrated
-	// graph generated server-side. This is the only step that touches the
-	// sensitive graph or spends privacy budget.
-	fitBody := `{"dataset":{"name":"lastfm","scale":0.5,"seed":1},"epsilon":1.0,"model":"tricycle","seed":7}`
-	resp, err := http.Post(base+"/fit", "application/json", bytes.NewReader([]byte(fitBody)))
+	// 2. Upload once: the sensitive graph travels to the service a single
+	// time, as a compact binary CSR snapshot.
+	profile, err := datasets.ByName("lastfm")
+	if err != nil {
+		return err
+	}
+	sensitive := datasets.Generate(dp.NewRand(1), profile.Scaled(0.5))
+	var snapshot bytes.Buffer
+	if err := sensitive.WriteBinary(&snapshot); err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/graphs", "application/octet-stream", &snapshot)
+	if err != nil {
+		return err
+	}
+	var uploaded struct {
+		ID   string `json:"id"`
+		Info struct {
+			Nodes     int `json:"nodes"`
+			Edges     int `json:"edges"`
+			SizeBytes int `json:"size_bytes"`
+		} `json:"info"`
+	}
+	if err := decodeStatus(resp, http.StatusCreated, &uploaded); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	fmt.Printf("uploaded sensitive graph: %d nodes, %d edges, %d snapshot bytes -> id %s\n",
+		uploaded.Info.Nodes, uploaded.Info.Edges, uploaded.Info.SizeBytes, uploaded.ID)
+
+	// 3. Fit by ID: a private TriCycLe model (ε = 1) over the stored graph.
+	// This is the only step that spends privacy budget; the same graph ID
+	// could be fitted again at other settings without re-uploading.
+	fitBody := fmt.Sprintf(`{"graph_id":%q,"epsilon":1.0,"model":"tricycle","seed":7}`, uploaded.ID)
+	resp, err = http.Post(base+"/v1/fit", "application/json", bytes.NewReader([]byte(fitBody)))
 	if err != nil {
 		return err
 	}
@@ -70,54 +117,97 @@ func run() error {
 			Epsilon float64 `json:"epsilon"`
 		} `json:"info"`
 	}
-	if err := decodeOK(resp, &fit); err != nil {
+	if err := decodeStatus(resp, http.StatusOK, &fit); err != nil {
 		return fmt.Errorf("fit: %w", err)
 	}
 	fmt.Printf("fitted %s model over %d nodes at epsilon %.2f -> id %s\n",
 		fit.Info.Model, fit.Info.N, fit.Info.Epsilon, fit.ID)
 
-	// 3. Serve many: eight parallel samples from the stored model, each with
-	// its own seed — no additional privacy cost.
+	// 4. Serve many, asynchronously: submit a batch job for eight samples,
+	// stored into the graph store instead of inlined, and poll its progress.
 	start := time.Now()
-	type sample struct {
-		Seed      int64 `json:"seed"`
-		Nodes     int   `json:"nodes"`
-		Edges     int   `json:"edges"`
-		Triangles int64 `json:"triangles"`
+	jobBody := fmt.Sprintf(`{"model_id":%q,"count":8,"seed":1,"iterations":1,"store":true}`, fit.ID)
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(jobBody)))
+	if err != nil {
+		return err
 	}
-	const parallel = 8
-	results := make([]sample, parallel)
-	errs := make([]error, parallel)
-	var wg sync.WaitGroup
-	for i := 0; i < parallel; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			body := fmt.Sprintf(`{"id":%q,"seed":%d,"iterations":1,"format":"summary"}`, fit.ID, i+1)
-			resp, err := http.Post(base+"/sample", "application/json", bytes.NewReader([]byte(body)))
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			errs[i] = decodeOK(resp, &results[i])
-		}(i)
+	var job struct {
+		ID        string `json:"id"`
+		Status    string `json:"status"`
+		Count     int    `json:"count"`
+		Completed int    `json:"completed"`
+		Failed    int    `json:"failed"`
+		Results   []struct {
+			Seed      int64  `json:"seed"`
+			Nodes     int    `json:"nodes"`
+			Edges     int    `json:"edges"`
+			Triangles int64  `json:"triangles"`
+			GraphID   string `json:"graph_id"`
+		} `json:"results"`
 	}
-	wg.Wait()
-	for i, err := range errs {
+	if err := decodeStatus(resp, http.StatusAccepted, &job); err != nil {
+		return fmt.Errorf("submit job: %w", err)
+	}
+	fmt.Printf("submitted job %s (%d samples)\n", job.ID, job.Count)
+	for job.Status == "queued" || job.Status == "running" {
+		time.Sleep(50 * time.Millisecond)
+		resp, err = http.Get(base + "/v1/jobs/" + job.ID)
 		if err != nil {
-			return fmt.Errorf("sample %d: %w", i, err)
+			return err
+		}
+		if err := decodeStatus(resp, http.StatusOK, &job); err != nil {
+			return fmt.Errorf("poll job: %w", err)
 		}
 	}
-	fmt.Printf("sampled %d synthetic graphs in %v:\n", parallel, time.Since(start).Round(time.Millisecond))
-	for _, s := range results {
-		fmt.Printf("  seed %d: %d nodes, %d edges, %d triangles\n", s.Seed, s.Nodes, s.Edges, s.Triangles)
+	if job.Status != "done" {
+		return fmt.Errorf("job finished with status %q (%d failed)", job.Status, job.Failed)
+	}
+	fmt.Printf("job done: %d synthetic graphs in %v:\n", job.Completed, time.Since(start).Round(time.Millisecond))
+	for _, s := range job.Results {
+		fmt.Printf("  seed %d: %d nodes, %d edges, %d triangles -> graph %s\n",
+			s.Seed, s.Nodes, s.Edges, s.Triangles, s.GraphID)
 	}
 
-	// 4. Determinism spot-check: the same seed twice gives byte-identical
-	// graph text.
+	// 5. Download one stored sample as a binary snapshot and decode it
+	// locally — the publishable artifact. "done" guarantees at least one
+	// success, not that sample 0 in particular succeeded.
+	first := job.Results[0]
+	for _, s := range job.Results {
+		if s.GraphID != "" {
+			first = s
+			break
+		}
+	}
+	if first.GraphID == "" {
+		return fmt.Errorf("job done but no sample was stored")
+	}
+	resp, err = http.Get(base + "/v1/graphs/" + first.GraphID + "?format=binary")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("download: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	synthetic, err := graph.ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if synthetic.NumEdges() != first.Edges {
+		return fmt.Errorf("downloaded sample has %d edges, job reported %d", synthetic.NumEdges(), first.Edges)
+	}
+	fmt.Printf("downloaded sample %s: %d-byte binary snapshot, decoded to %d nodes / %d edges\n",
+		first.GraphID, len(data), synthetic.NumNodes(), synthetic.NumEdges())
+
+	// 6. Determinism spot-check: synchronous samples with equal seeds are
+	// byte-identical binary snapshots.
 	fetch := func() ([]byte, error) {
-		body := fmt.Sprintf(`{"id":%q,"seed":99,"iterations":1,"format":"text"}`, fit.ID)
-		resp, err := http.Post(base+"/sample", "application/json", bytes.NewReader([]byte(body)))
+		body := fmt.Sprintf(`{"id":%q,"seed":99,"iterations":1,"format":"binary"}`, fit.ID)
+		resp, err := http.Post(base+"/v1/sample", "application/json", bytes.NewReader([]byte(body)))
 		if err != nil {
 			return nil, err
 		}
@@ -136,35 +226,16 @@ func run() error {
 		return err
 	}
 	if !bytes.Equal(a, b) {
-		return fmt.Errorf("determinism violated: equal seeds gave different graph text")
+		return fmt.Errorf("determinism violated: equal seeds gave different snapshots")
 	}
-	fmt.Printf("determinism check passed: seed 99 twice -> identical %d-byte graph files\n", len(a))
-
-	// 5. Registry listing, as an operator would see it.
-	lresp, err := http.Get(base + "/models")
-	if err != nil {
-		return err
-	}
-	var list struct {
-		Models []struct {
-			ID        string `json:"id"`
-			Model     string `json:"model"`
-			SizeBytes int    `json:"size_bytes"`
-		} `json:"models"`
-	}
-	if err := decodeOK(lresp, &list); err != nil {
-		return err
-	}
-	for _, m := range list.Models {
-		fmt.Printf("registry: %s (%s, %d bytes serialized)\n", m.ID, m.Model, m.SizeBytes)
-	}
+	fmt.Printf("determinism check passed: seed 99 twice -> identical %d-byte snapshots\n", len(a))
 	return nil
 }
 
-// decodeOK fails on non-200 responses and decodes the JSON body into v.
-func decodeOK(resp *http.Response, v any) error {
+// decodeStatus fails on an unexpected status and decodes the JSON body into v.
+func decodeStatus(resp *http.Response, want int, v any) error {
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != want {
 		body, _ := io.ReadAll(resp.Body)
 		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
 	}

@@ -95,6 +95,17 @@ func ByName(name string) (Profile, error) {
 	return Profile{}, fmt.Errorf("datasets: unknown dataset %q (want lastfm, petster, epinions or pokec)", name)
 }
 
+// CheckScale validates a user-supplied scale factor against the range every
+// caller of Profile.Scaled must respect: (0, 1]. The facade and the HTTP
+// server both funnel client scales through this check, so a scale the
+// library accepts is exactly a scale the service accepts.
+func CheckScale(scale float64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("datasets: scale %v outside (0, 1]", scale)
+	}
+	return nil
+}
+
 // NumAttributes returns the number of binary attributes the profile carries.
 func (p Profile) NumAttributes() int { return len(p.AttrProbs) }
 

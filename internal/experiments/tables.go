@@ -54,6 +54,9 @@ func (o Options) profileFor(name string) (datasets.Profile, error) {
 	if scale <= 0 {
 		scale = p.DefaultScale
 	}
+	if err := datasets.CheckScale(scale); err != nil {
+		return datasets.Profile{}, err
+	}
 	return p.Scaled(scale), nil
 }
 

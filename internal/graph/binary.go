@@ -1,0 +1,320 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary CSR snapshot format ("AGMDPCSR", version 1).
+//
+// The text formats in io.go are line-oriented and allocation-heavy: every
+// node and edge costs a formatted line on the way out and a scanner line,
+// a Fields split and per-field Atoi calls on the way back in. The binary
+// snapshot instead serialises the CSR arrays directly, so encoding is a
+// sequential memory copy and decoding is a bulk read plus one validation
+// pass. The layout, all little-endian:
+//
+//	magic     [8]byte  "AGMDPCSR"
+//	version   uint32   1
+//	flags     uint32   bit 0: attrs array present (set iff w > 0)
+//	w         uint32   attribute width, [0, MaxAttributes]
+//	reserved  uint32   must be zero
+//	n         uint64   node count
+//	m         uint64   undirected edge count
+//	offsets   (n+1) × int64   CSR row offsets, offsets[0] = 0, offsets[n] = 2m
+//	neighbors 2m × int32      concatenated rows, strictly increasing per row
+//	attrs     n × uint64      attribute bitmasks (present iff flags bit 0)
+//
+// The encoding is canonical: a given graph has exactly one valid encoding,
+// and ReadBinary rejects anything non-canonical (unknown flags, a nonzero
+// reserved word, an attrs array on a width-0 graph, attribute bits above w).
+// Canonical bytes make the format safe to content-address — equal graphs
+// hash equal — which is what the graph store relies on.
+//
+// ReadBinary fully validates the structural invariants the rest of the
+// package assumes (monotone offsets, sorted in-range rows, no self loops,
+// symmetric adjacency), so a decoded graph is indistinguishable from one
+// built by a Builder, and corrupt or adversarial input fails with an error
+// rather than corrupting later analytics. Array reads are chunked, so a
+// header that declares a huge graph fails with an I/O error after at most
+// one chunk of over-allocation instead of exhausting memory up front.
+
+const (
+	binaryMagic   = "AGMDPCSR"
+	binaryVersion = 1
+
+	// flagAttrs marks the presence of the trailing attrs array.
+	flagAttrs = 1 << 0
+
+	// binaryHeaderSize is the fixed header length in bytes.
+	binaryHeaderSize = 8 + 4 + 4 + 4 + 4 + 8 + 8
+
+	// binaryChunkEntries bounds how many array entries are staged per
+	// read/write call: large enough to amortise call overhead, small enough
+	// that a lying header cannot force a huge allocation.
+	binaryChunkEntries = 8192
+)
+
+// BinarySize returns the exact encoded length of the graph's binary
+// snapshot in bytes.
+func (g *Graph) BinarySize() int64 {
+	size := int64(binaryHeaderSize)
+	size += int64(len(g.offsets)) * 8
+	size += int64(len(g.neighbors)) * 4
+	if g.w > 0 {
+		size += int64(len(g.attrs)) * 8
+	}
+	return size
+}
+
+// WriteBinary writes the graph as a binary CSR snapshot. The output is
+// canonical: equal graphs produce byte-identical snapshots.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [binaryHeaderSize]byte
+	copy(hdr[0:8], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], binaryVersion)
+	var flags uint32
+	if g.w > 0 {
+		flags |= flagAttrs
+	}
+	binary.LittleEndian.PutUint32(hdr[12:16], flags)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(g.w))
+	// hdr[20:24] is the reserved word, zero.
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(g.attrs)))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(g.m))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graph: writing binary header: %w", err)
+	}
+	var buf [8 * binaryChunkEntries]byte
+	for start := 0; start < len(g.offsets); start += binaryChunkEntries {
+		chunk := g.offsets[start:min(start+binaryChunkEntries, len(g.offsets))]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+		}
+		if _, err := bw.Write(buf[:8*len(chunk)]); err != nil {
+			return fmt.Errorf("graph: writing binary offsets: %w", err)
+		}
+	}
+	for start := 0; start < len(g.neighbors); start += binaryChunkEntries {
+		chunk := g.neighbors[start:min(start+binaryChunkEntries, len(g.neighbors))]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		if _, err := bw.Write(buf[:4*len(chunk)]); err != nil {
+			return fmt.Errorf("graph: writing binary neighbors: %w", err)
+		}
+	}
+	if flags&flagAttrs != 0 {
+		for start := 0; start < len(g.attrs); start += binaryChunkEntries {
+			chunk := g.attrs[start:min(start+binaryChunkEntries, len(g.attrs))]
+			for i, v := range chunk {
+				binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+			}
+			if _, err := bw.Write(buf[:8*len(chunk)]); err != nil {
+				return fmt.Errorf("graph: writing binary attrs: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: writing binary snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary parses a binary CSR snapshot written by WriteBinary, fully
+// validating the graph invariants (canonical header, monotone offsets,
+// strictly increasing in-range rows, no self loops, symmetric adjacency)
+// before constructing the graph. Trailing bytes after the snapshot are left
+// unread.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [binaryHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if string(hdr[0:8]) != binaryMagic {
+		return nil, fmt.Errorf("graph: not an agmdp binary snapshot (magic %q)", hdr[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary snapshot version %d (want %d)", v, binaryVersion)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[12:16])
+	if flags&^uint32(flagAttrs) != 0 {
+		return nil, fmt.Errorf("graph: unknown binary snapshot flags %#x", flags)
+	}
+	w := binary.LittleEndian.Uint32(hdr[16:20])
+	if w > MaxAttributes {
+		return nil, fmt.Errorf("graph: binary snapshot attribute width %d outside [0, %d]", w, MaxAttributes)
+	}
+	if (flags&flagAttrs != 0) != (w > 0) {
+		return nil, fmt.Errorf("graph: non-canonical binary snapshot: attrs flag %t with width %d", flags&flagAttrs != 0, w)
+	}
+	if reserved := binary.LittleEndian.Uint32(hdr[20:24]); reserved != 0 {
+		return nil, fmt.Errorf("graph: non-canonical binary snapshot: reserved word %#x", reserved)
+	}
+	n64 := binary.LittleEndian.Uint64(hdr[24:32])
+	m64 := binary.LittleEndian.Uint64(hdr[32:40])
+	if n64 > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: binary snapshot node count %d exceeds the int32 ID space", n64)
+	}
+	n := int(n64)
+	if m64 > uint64(maxEdges(n)) {
+		return nil, fmt.Errorf("graph: binary snapshot edge count %d impossible for %d nodes", m64, n)
+	}
+	m := int(m64)
+
+	offsets, err := readInt64s(br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading binary offsets: %w", err)
+	}
+	neighbors, err := readInt32s(br, 2*m)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading binary neighbors: %w", err)
+	}
+	attrs := make([]AttrVector, n)
+	if flags&flagAttrs != 0 {
+		if err := readAttrs(br, attrs, int(w)); err != nil {
+			return nil, fmt.Errorf("graph: reading binary attrs: %w", err)
+		}
+	}
+	if err := validateCSR(n, offsets, neighbors); err != nil {
+		return nil, fmt.Errorf("graph: invalid binary snapshot: %w", err)
+	}
+	return &Graph{w: int(w), m: m, offsets: offsets, neighbors: neighbors, attrs: attrs}, nil
+}
+
+// maxEdges returns the maximum undirected simple-graph edge count for n
+// nodes, n·(n−1)/2.
+func maxEdges(n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	return int64(n) * int64(n-1) / 2
+}
+
+// readInt64s reads count little-endian int64 values in bounded chunks, so a
+// corrupt header cannot force a single huge allocation.
+func readInt64s(r io.Reader, count int) ([]int64, error) {
+	out := make([]int64, 0, min(count, binaryChunkEntries))
+	var buf [8 * binaryChunkEntries]byte
+	for len(out) < count {
+		batch := min(count-len(out), binaryChunkEntries)
+		if _, err := io.ReadFull(r, buf[:8*batch]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < batch; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+	}
+	return out, nil
+}
+
+// readInt32s reads count little-endian int32 values in bounded chunks.
+func readInt32s(r io.Reader, count int) ([]int32, error) {
+	out := make([]int32, 0, min(count, binaryChunkEntries))
+	var buf [4 * binaryChunkEntries]byte
+	for len(out) < count {
+		batch := min(count-len(out), binaryChunkEntries)
+		if _, err := io.ReadFull(r, buf[:4*batch]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < batch; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
+}
+
+// readAttrs fills attrs with little-endian attribute bitmasks, rejecting
+// vectors with bits above width w (they would make the encoding
+// non-canonical).
+func readAttrs(r io.Reader, attrs []AttrVector, w int) error {
+	var buf [8 * binaryChunkEntries]byte
+	for start := 0; start < len(attrs); start += binaryChunkEntries {
+		batch := min(len(attrs)-start, binaryChunkEntries)
+		if _, err := io.ReadFull(r, buf[:8*batch]); err != nil {
+			return err
+		}
+		for i := 0; i < batch; i++ {
+			a := AttrVector(binary.LittleEndian.Uint64(buf[8*i:]))
+			if a != a.maskWidth(w) {
+				return fmt.Errorf("node %d attribute vector %#x has bits above width %d", start+i, uint64(a), w)
+			}
+			attrs[start+i] = a
+		}
+	}
+	return nil
+}
+
+// validateCSR checks the structural invariants every Graph consumer assumes:
+// offsets start at zero, never decrease and end at len(neighbors); each row
+// is strictly increasing with in-range endpoints and no self loops; and the
+// adjacency is symmetric.
+func validateCSR(n int, offsets []int64, neighbors []int32) error {
+	if offsets[0] != 0 {
+		return fmt.Errorf("offsets[0] = %d, want 0", offsets[0])
+	}
+	for i := 0; i < n; i++ {
+		if offsets[i+1] < offsets[i] {
+			return fmt.Errorf("offsets decrease at row %d (%d -> %d)", i, offsets[i], offsets[i+1])
+		}
+	}
+	if offsets[n] != int64(len(neighbors)) {
+		return fmt.Errorf("offsets end at %d, want %d (= 2m)", offsets[n], len(neighbors))
+	}
+	row := func(u int) []int32 { return neighbors[offsets[u]:offsets[u+1]] }
+	for u := 0; u < n; u++ {
+		prev := int32(-1)
+		for _, v := range row(u) {
+			if v <= prev {
+				return fmt.Errorf("row %d is not strictly increasing", u)
+			}
+			if int(v) >= n {
+				return fmt.Errorf("row %d neighbour %d out of range [0, %d)", u, v, n)
+			}
+			if int(v) == u {
+				return fmt.Errorf("self loop at node %d", u)
+			}
+			prev = v
+		}
+	}
+	// Every directed entry must have its reverse — checking only one
+	// orientation would let an asymmetric snapshot through whenever its
+	// stray entries all point the unchecked way.
+	for u := 0; u < n; u++ {
+		for _, v := range row(u) {
+			if !containsSorted(row(int(v)), int32(u)) {
+				return fmt.Errorf("asymmetric adjacency: edge {%d,%d} missing its reverse entry", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// SaveBinary writes the graph to the named file as a binary CSR snapshot.
+func SaveBinary(g *Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	if err := g.WriteBinary(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a graph from the named binary CSR snapshot file.
+func LoadBinary(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

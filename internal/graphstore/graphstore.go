@@ -1,0 +1,326 @@
+// Package graphstore provides a thread-safe, content-addressed store of
+// immutable CSR graphs.
+//
+// The store is the service-side home of graph data: a sensitive input graph
+// is uploaded once and fitted many times by ID, and sampled synthetic graphs
+// can be stored back and downloaded later in any wire format. Graphs are
+// identified by the content address of their canonical binary CSR snapshot
+// (graph.WriteBinary produces exactly one encoding per graph), so storing
+// the same graph twice yields the same ID and a single resident entry.
+//
+// Because graph.Graph is immutable after construction, the store can hand
+// out its resident instance directly — Get is O(1) and allocation-free, and
+// callers on any number of goroutines can share the result without copying.
+// With a store directory configured, every graph is also persisted as a
+// <id>.csr binary snapshot and reloaded on Open, so uploaded graphs survive
+// service restarts; the binary codec makes those restarts cheap (one bulk
+// read + validation pass per graph instead of line-oriented text parsing).
+package graphstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"agmdp/internal/graph"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir, when non-empty, enables persistence: every stored graph is written
+	// to Dir/<id>.csr as a binary CSR snapshot and existing snapshots are
+	// loaded back on Open.
+	Dir string
+	// MaxGraphs bounds the number of resident graphs; when the bound is
+	// exceeded the oldest entry (by insertion time) is evicted. Zero means
+	// unbounded.
+	MaxGraphs int
+	// Clock overrides the time source used for CreatedAt stamps (tests).
+	Clock func() time.Time
+}
+
+// Info summarises one stored graph for listings.
+type Info struct {
+	ID         string    `json:"id"`
+	Nodes      int       `json:"nodes"`
+	Edges      int       `json:"edges"`
+	Attributes int       `json:"attributes"`
+	SizeBytes  int       `json:"size_bytes"`
+	CreatedAt  time.Time `json:"created_at"`
+}
+
+// entry is one resident graph: its canonical snapshot bytes, the decoded
+// immutable graph, and cached metadata.
+type entry struct {
+	data []byte
+	g    *graph.Graph
+	info Info
+}
+
+// Store is a thread-safe, content-addressed store of immutable graphs. The
+// zero value is not usable; construct with Open.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	order   []string // insertion order, oldest first, for bounded eviction
+	dir     string
+	max     int
+	clock   func() time.Time
+	skipped []string
+}
+
+// Open creates a store. If opts.Dir is non-empty the directory is created
+// when missing and any previously persisted snapshots in it are loaded.
+func Open(opts Options) (*Store, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Store{
+		entries: make(map[string]*entry),
+		dir:     opts.Dir,
+		max:     opts.MaxGraphs,
+		clock:   clock,
+	}
+	if s.dir != "" {
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("graphstore: creating store directory: %w", err)
+		}
+		if err := s.loadDir(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// IDFromBytes computes the content address of a canonical binary snapshot:
+// the hex-encoded SHA-256 digest truncated to 16 bytes (32 hex characters),
+// the same shape the model registry uses.
+func IDFromBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}
+
+// loadDir restores persisted snapshots, oldest first so the eviction order
+// matches the original insertion order. Files that fail to read, decode, or
+// hash to their own name are skipped (and reported via LoadWarnings) rather
+// than failing the open: one corrupt file must not take every good graph out
+// of service.
+func (s *Store) loadDir() error {
+	glob, err := filepath.Glob(filepath.Join(s.dir, "*.csr"))
+	if err != nil {
+		return fmt.Errorf("graphstore: scanning store directory: %w", err)
+	}
+	type stamped struct {
+		path string
+		mod  time.Time
+	}
+	files := make([]stamped, 0, len(glob))
+	for _, path := range glob {
+		st, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("graphstore: %w", err)
+		}
+		files = append(files, stamped{path: path, mod: st.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].path < files[j].path
+	})
+	for _, f := range files {
+		data, err := os.ReadFile(f.path)
+		if err != nil {
+			s.skipped = append(s.skipped, fmt.Sprintf("%s: %v", f.path, err))
+			continue
+		}
+		g, err := graph.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			s.skipped = append(s.skipped, fmt.Sprintf("%s: %v", f.path, err))
+			continue
+		}
+		// The snapshot is canonical, so any trailing junk in the file (or a
+		// renamed snapshot) shows up as an ID mismatch here.
+		id := IDFromBytes(data)
+		if want := strings.TrimSuffix(filepath.Base(f.path), ".csr"); want != id ||
+			int64(len(data)) != g.BinarySize() {
+			s.skipped = append(s.skipped, fmt.Sprintf("%s: content hashes to %s, not the name it was stored under", f.path, id))
+			continue
+		}
+		s.insertLocked(id, data, g, f.mod)
+	}
+	for s.max > 0 && len(s.order) > s.max {
+		s.evictLocked(s.order[0])
+	}
+	return nil
+}
+
+// Put stores a graph and returns its content-addressed ID. Storing a graph
+// that is already resident is a no-op that returns the existing ID. When
+// persistence is enabled the snapshot is written to disk before Put returns.
+func (s *Store) Put(g *graph.Graph) (string, error) {
+	var buf bytes.Buffer
+	buf.Grow(int(g.BinarySize()))
+	if err := g.WriteBinary(&buf); err != nil {
+		return "", fmt.Errorf("graphstore: encoding graph: %w", err)
+	}
+	data := buf.Bytes()
+	id := IDFromBytes(data)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; ok {
+		return id, nil
+	}
+	if s.dir != "" {
+		if err := s.persist(id, data); err != nil {
+			return "", err
+		}
+	}
+	s.insertLocked(id, data, g, s.clock())
+	for s.max > 0 && len(s.order) > s.max {
+		s.evictLocked(s.order[0])
+	}
+	return id, nil
+}
+
+// persist atomically writes one snapshot file (write to a temp name, then
+// rename) so a crashed or concurrent process never observes a torn file.
+func (s *Store) persist(id string, data []byte) error {
+	final := filepath.Join(s.dir, id+".csr")
+	tmp, err := os.CreateTemp(s.dir, id+".tmp*")
+	if err != nil {
+		return fmt.Errorf("graphstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("graphstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("graphstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("graphstore: %w", err)
+	}
+	return nil
+}
+
+// insertLocked adds an entry to the in-memory maps. Callers hold s.mu.
+func (s *Store) insertLocked(id string, data []byte, g *graph.Graph, created time.Time) {
+	s.entries[id] = &entry{
+		data: data,
+		g:    g,
+		info: Info{
+			ID:         id,
+			Nodes:      g.NumNodes(),
+			Edges:      g.NumEdges(),
+			Attributes: g.NumAttributes(),
+			SizeBytes:  len(data),
+			CreatedAt:  created,
+		},
+	}
+	s.order = append(s.order, id)
+}
+
+// LoadWarnings reports the store files Open skipped because they could not
+// be read, decoded, or verified against their content address. Operators
+// should surface these: a skipped file is a graph that silently left service.
+func (s *Store) LoadWarnings() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.skipped))
+	copy(out, s.skipped)
+	return out
+}
+
+// Get returns the resident graph with the given ID. Graphs are immutable, so
+// the returned instance is shared: the call is O(1) and the result is safe
+// for unrestricted concurrent use.
+func (s *Store) Get(id string) (*graph.Graph, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.g, true
+}
+
+// Bytes returns the canonical binary snapshot of a stored graph, suitable
+// for shipping over the wire without a re-encode. The returned slice is
+// shared and must be treated as read-only.
+func (s *Store) Bytes(id string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.data, true
+}
+
+// Stat returns the listing metadata of one stored graph.
+func (s *Store) Stat(id string) (Info, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// List returns metadata for every resident graph, oldest first.
+func (s *Store) List() []Info {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Info, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.entries[id].info)
+	}
+	return out
+}
+
+// Len returns the number of resident graphs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Evict removes a graph from the store (and from disk, when persistence is
+// enabled) and reports whether it was present.
+func (s *Store) Evict(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; !ok {
+		return false
+	}
+	s.evictLocked(id)
+	return true
+}
+
+// evictLocked removes one entry. Callers hold s.mu.
+func (s *Store) evictLocked(id string) {
+	delete(s.entries, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.dir != "" {
+		os.Remove(filepath.Join(s.dir, id+".csr"))
+	}
+}

@@ -1,0 +1,439 @@
+// Package jobs provides an asynchronous batch-sampling job manager layered
+// on the synthesis engine.
+//
+// The synchronous /sample endpoint holds an HTTP connection open for the
+// whole draw, which caps a batch at whatever a client (and its proxies) will
+// tolerate as one request. A job instead is submitted once, returns an ID
+// immediately, and runs its samples through the engine in the background;
+// clients poll for queued/running/done progress and per-sample results, and
+// can cancel mid-flight. Sampled graphs are summarised in the result list
+// and — when requested — stored into the graph store, so a large batch never
+// travels inline through the job API at all.
+//
+// Determinism: a job with an explicit base seed s draws sample i with seed
+// s+i, so a batch is exactly as reproducible as the equivalent sequence of
+// synchronous requests. Unseeded jobs draw per-sample seeds from the
+// engine's worker streams and report them in the results.
+//
+// Finished jobs are retained (bounded, oldest evicted first) so clients can
+// fetch results after completion; cancellation and retention both drop a
+// job's results, never its running work's correctness.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agmdp/internal/core"
+	"agmdp/internal/engine"
+	"agmdp/internal/graphstore"
+)
+
+// ErrClosed is returned by Submit after Close has been called.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued means the job is accepted but no sample has started.
+	StatusQueued Status = "queued"
+	// StatusRunning means at least one sample is in flight.
+	StatusRunning Status = "running"
+	// StatusDone means the job finished with at least one successful sample.
+	StatusDone Status = "done"
+	// StatusFailed means every sample failed.
+	StatusFailed Status = "failed"
+	// StatusCancelled means the job was cancelled before finishing.
+	StatusCancelled Status = "cancelled"
+)
+
+// Finished reports whether the status is terminal.
+func (s Status) Finished() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Spec describes one batch sampling job.
+type Spec struct {
+	// Model is the fitted model to sample from. Required.
+	Model *core.FittedModel
+	// ModelID is the registry ID of Model; it keys the engine's
+	// acceptance-table cache and is echoed in job listings.
+	ModelID string
+	// Count is the number of samples to draw (>= 1).
+	Count int
+	// Seed, when non-zero, seeds sample i with Seed+i, making the whole
+	// batch deterministic. Zero lets each sample draw from the engine's
+	// worker streams.
+	Seed int64
+	// Iterations, ModelKind and Parallelism are passed through to each
+	// engine request; see engine.Request.
+	Iterations  int
+	ModelKind   string
+	Parallelism int
+	// Store, when true, stores every sampled graph into the manager's graph
+	// store and records its content-addressed ID in the sample result.
+	Store bool
+}
+
+// SampleResult is the outcome of one sample within a job.
+type SampleResult struct {
+	Index     int    `json:"index"`
+	Seed      int64  `json:"seed"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Triangles int64  `json:"triangles"`
+	GraphID   string `json:"graph_id,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Info is a point-in-time snapshot of one job.
+type Info struct {
+	ID         string    `json:"id"`
+	ModelID    string    `json:"model_id,omitempty"`
+	Status     Status    `json:"status"`
+	Count      int       `json:"count"`
+	Completed  int       `json:"completed"`
+	Failed     int       `json:"failed"`
+	Stored     int       `json:"stored,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Engine executes the samples. Required.
+	Engine *engine.Engine
+	// Store receives sampled graphs for jobs with Spec.Store set. Jobs with
+	// Store set are rejected when nil.
+	Store *graphstore.Store
+	// Retain bounds how many finished jobs are kept for result pickup;
+	// beyond it the oldest finished job is dropped. Values below 1 select 64.
+	Retain int
+	// FanOut is how many samples of one job may be in flight at once (they
+	// still queue behind the engine's own bounded worker pool). Values below
+	// 1 select 4.
+	FanOut int
+	// SampleTimeout bounds each individual sample; zero means no per-sample
+	// deadline.
+	SampleTimeout time.Duration
+	// Clock overrides the time source used for the Info timestamps (tests).
+	Clock func() time.Time
+}
+
+// job is the manager-internal state of one submitted job.
+type job struct {
+	mu      sync.Mutex
+	info    Info
+	results []SampleResult
+	spec    Spec
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// Manager runs batch sampling jobs. Construct with New; the zero value is
+// not usable.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listings
+	finished []string // completion order, for bounded retention
+	seq      int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New builds a manager over an engine (and, optionally, a graph store).
+func New(opts Options) (*Manager, error) {
+	if opts.Engine == nil {
+		return nil, errors.New("jobs: nil engine")
+	}
+	if opts.Retain < 1 {
+		opts.Retain = 64
+	}
+	if opts.FanOut < 1 {
+		opts.FanOut = 4
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Manager{opts: opts, jobs: make(map[string]*job)}, nil
+}
+
+// Submit accepts a job and starts it in the background, returning its ID.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	if spec.Model == nil {
+		return "", errors.New("jobs: nil model in spec")
+	}
+	if spec.Count < 1 {
+		return "", fmt.Errorf("jobs: sample count %d, want >= 1", spec.Count)
+	}
+	// Sample i runs with seed Seed+i, and seed 0 means "unseeded" to the
+	// engine — a negative base whose range crosses zero would silently turn
+	// one sample of a deterministic batch into a random draw.
+	if spec.Seed < 0 && spec.Seed+int64(spec.Count) > 0 {
+		return "", fmt.Errorf("jobs: seed range [%d, %d] crosses 0 (sample seeds are seed+index; 0 means unseeded)",
+			spec.Seed, spec.Seed+int64(spec.Count)-1)
+	}
+	if spec.Store && m.opts.Store == nil {
+		return "", errors.New("jobs: store requested but the manager has no graph store")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		spec:   spec,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%06d", m.seq)
+	j.info = Info{
+		ID:        id,
+		ModelID:   spec.ModelID,
+		Status:    StatusQueued,
+		Count:     spec.Count,
+		CreatedAt: m.opts.Clock(),
+	}
+	j.results = make([]SampleResult, spec.Count)
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.run(ctx, j)
+	return id, nil
+}
+
+// run executes one job: FanOut workers pull sample indices and drive the
+// engine, then the terminal status is decided and retention trimmed.
+func (m *Manager) run(ctx context.Context, j *job) {
+	defer m.wg.Done()
+	defer j.cancel()
+
+	j.mu.Lock()
+	j.info.Status = StatusRunning
+	j.info.StartedAt = m.opts.Clock()
+	count := j.spec.Count
+	j.mu.Unlock()
+
+	indices := make(chan int)
+	var workers sync.WaitGroup
+	for w := 0; w < min(m.opts.FanOut, count); w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := range indices {
+				m.runSample(ctx, j, i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < count; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	workers.Wait()
+
+	j.mu.Lock()
+	switch {
+	case ctx.Err() != nil:
+		j.info.Status = StatusCancelled
+	case j.info.Failed == count:
+		j.info.Status = StatusFailed
+	default:
+		j.info.Status = StatusDone
+	}
+	j.info.FinishedAt = m.opts.Clock()
+	id := j.info.ID
+	j.mu.Unlock()
+	close(j.done)
+
+	m.mu.Lock()
+	// The job may already have been removed by a cancel-and-delete.
+	if _, ok := m.jobs[id]; ok {
+		m.finished = append(m.finished, id)
+		for len(m.finished) > m.opts.Retain {
+			m.removeLocked(m.finished[0])
+		}
+	}
+	m.mu.Unlock()
+}
+
+// runSample draws sample i of a job and records its result.
+func (m *Manager) runSample(ctx context.Context, j *job, i int) {
+	sctx := ctx
+	if m.opts.SampleTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, m.opts.SampleTimeout)
+		defer cancel()
+	}
+	var seed int64
+	if j.spec.Seed != 0 {
+		seed = j.spec.Seed + int64(i)
+	}
+	g, usedSeed, err := m.opts.Engine.SampleSeeded(sctx, engine.Request{
+		Model:       j.spec.Model,
+		Seed:        seed,
+		Iterations:  j.spec.Iterations,
+		ModelKind:   j.spec.ModelKind,
+		Parallelism: j.spec.Parallelism,
+		CacheKey:    j.spec.ModelID,
+	})
+	res := SampleResult{Index: i, Seed: usedSeed}
+	var stored bool
+	if err == nil && j.spec.Store {
+		res.GraphID, err = m.opts.Store.Put(g)
+		stored = err == nil
+	}
+	if err != nil {
+		res.Error = err.Error()
+	} else {
+		res.Nodes = g.NumNodes()
+		res.Edges = g.NumEdges()
+		res.Triangles = g.Triangles()
+	}
+
+	j.mu.Lock()
+	j.results[i] = res
+	if err != nil {
+		j.info.Failed++
+	} else {
+		j.info.Completed++
+	}
+	if stored {
+		j.info.Stored++
+	}
+	j.mu.Unlock()
+}
+
+// Get returns a snapshot of one job and a copy of its per-sample results
+// (slots whose samples have not finished are zero-valued).
+func (m *Manager) Get(id string) (Info, []SampleResult, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Info{}, nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	results := make([]SampleResult, len(j.results))
+	copy(results, j.results)
+	return j.info, results, true
+}
+
+// List returns a snapshot of every retained job, oldest submission first.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	ids := make([]string, len(m.order))
+	copy(ids, m.order)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]Info, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		out = append(out, j.info)
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// Cancel cancels a running job or removes a finished one, reporting whether
+// the job was known. A cancelled job transitions to StatusCancelled and is
+// retained for result pickup like any other finished job.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	finished := j.info.Status.Finished()
+	j.mu.Unlock()
+	if finished {
+		m.mu.Lock()
+		m.removeLocked(id)
+		m.mu.Unlock()
+		return true
+	}
+	j.cancel()
+	return true
+}
+
+// removeLocked drops a job from every index. Callers hold m.mu.
+func (m *Manager) removeLocked(id string) {
+	delete(m.jobs, id)
+	for i, v := range m.order {
+		if v == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	for i, v := range m.finished {
+		if v == id {
+			m.finished = append(m.finished[:i], m.finished[i+1:]...)
+			break
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal status or the context
+// expires. It reports false for unknown jobs.
+func (m *Manager) Wait(ctx context.Context, id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-j.done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Close cancels every running job, waits for them to wind down, and rejects
+// further submissions. It is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	m.wg.Wait()
+}

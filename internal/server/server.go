@@ -1,9 +1,17 @@
-// Package server exposes the AGM-DP synthesis service over HTTP/JSON: fit a
-// differentially private model once (POST /fit), store it in the registry,
-// then sample synthetic graphs from it any number of times (POST /sample) at
-// no additional privacy cost. The handlers wire together the model registry
-// (package registry) and the concurrent sampling engine (package engine);
-// request-scoped timeouts bound every sampling job.
+// Package server exposes the AGM-DP synthesis service over HTTP as a
+// versioned, resource-oriented API. The /v1 surface manages three resource
+// collections — graphs (uploaded or synthesized CSR graphs in the content-
+// addressed graph store), models (fitted AGM-DP parameters in the registry)
+// and jobs (asynchronous batch sampling runs) — plus the /v1/fit and
+// /v1/sample actions that connect them: fit a differentially private model
+// once from an uploaded graph, then sample synthetic graphs from it any
+// number of times at no additional privacy cost. Graphs travel in three
+// interchangeable wire formats (inline JSON, agmdp text, and the binary CSR
+// snapshot), negotiated per request.
+//
+// The original unversioned endpoints (/fit, /sample, /models…, /healthz)
+// remain as thin aliases over the v1 handlers, so pre-v1 clients keep
+// working unchanged. See docs/api.md for the full endpoint reference.
 package server
 
 import (
@@ -11,7 +19,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"agmdp/internal/core"
@@ -19,6 +29,8 @@ import (
 	"agmdp/internal/dp"
 	"agmdp/internal/engine"
 	"agmdp/internal/graph"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/jobs"
 	"agmdp/internal/registry"
 	"agmdp/internal/structural"
 )
@@ -27,32 +39,43 @@ import (
 type Config struct {
 	Registry *registry.Registry
 	Engine   *engine.Engine
+	// Graphs is the content-addressed graph store behind /v1/graphs; when
+	// nil an in-memory store is created.
+	Graphs *graphstore.Store
+	// Jobs runs the asynchronous sampling jobs behind /v1/jobs; when nil a
+	// manager over Engine and Graphs is created (and owned by the server:
+	// Close shuts it down).
+	Jobs *jobs.Manager
 	// FitTimeout bounds POST /fit requests (default 5 minutes). Fitting runs
 	// in the request goroutine; the deadline rejects queued work, it cannot
 	// interrupt a fit already in progress.
 	FitTimeout time.Duration
-	// SampleTimeout bounds POST /sample requests (default 1 minute); jobs
-	// whose context expires while queued are abandoned by the engine.
+	// SampleTimeout bounds POST /sample requests and each individual sample
+	// of a job (default 1 minute); jobs whose context expires while queued
+	// are abandoned by the engine.
 	SampleTimeout time.Duration
-	// MaxBodyBytes caps request bodies (default 64 MiB — inline graphs carry
-	// full edge lists).
+	// MaxBodyBytes caps request bodies (default 64 MiB — inline and binary
+	// graph uploads carry full edge lists).
 	MaxBodyBytes int64
-	// MaxFitNodes caps the node count of a fit input, whether inline or
-	// dataset-generated (default 2,000,000). The graph substrate allocates
-	// per-node state up front, so an unchecked client-supplied n could
-	// exhaust memory from a tiny request body.
+	// MaxFitNodes caps the node count of a stored or fitted graph, whether
+	// inline, uploaded or dataset-generated (default 2,000,000). The graph
+	// substrate allocates per-node state up front, so an unchecked
+	// client-supplied n could exhaust memory from a tiny request body.
 	MaxFitNodes int
-	// MaxFitAttributes caps the attribute width of a fit input (default 12).
-	// The correlation estimators allocate O(4^w) state, so widths the attrs
-	// layer technically supports can still exhaust memory from a tiny
-	// request; the paper's experiments use w = 2.
+	// MaxFitAttributes caps the attribute width of a stored or fitted graph
+	// (default 12). The correlation estimators allocate O(4^w) state, so
+	// widths the attrs layer technically supports can still exhaust memory
+	// from a tiny request; the paper's experiments use w = 2.
 	MaxFitAttributes int
+	// MaxJobSamples caps the per-job sample count (default 1024).
+	MaxJobSamples int
 }
 
 // Server handles the synthesis-service HTTP API.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg      Config
+	mux      *http.ServeMux
+	ownsJobs bool
 }
 
 // New builds a Server over a registry and an engine.
@@ -78,29 +101,97 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxFitAttributes <= 0 {
 		cfg.MaxFitAttributes = 12
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /models", s.handleListModels)
-	s.mux.HandleFunc("GET /models/{id}", s.handleGetModel)
-	s.mux.HandleFunc("DELETE /models/{id}", s.handleEvictModel)
-	s.mux.HandleFunc("POST /fit", s.handleFit)
-	s.mux.HandleFunc("POST /sample", s.handleSample)
+	if cfg.MaxJobSamples <= 0 {
+		cfg.MaxJobSamples = 1024
+	}
+	ownsJobs := false
+	if cfg.Graphs == nil {
+		var err error
+		cfg.Graphs, err = graphstore.Open(graphstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Jobs == nil {
+		var err error
+		cfg.Jobs, err = jobs.New(jobs.Options{
+			Engine:        cfg.Engine,
+			Store:         cfg.Graphs,
+			SampleTimeout: cfg.SampleTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ownsJobs = true
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), ownsJobs: ownsJobs}
+
+	// Every pre-v1 route is registered twice: the versioned /v1 path is the
+	// canonical one, the unversioned path is a compatibility alias bound to
+	// the same handler.
+	alias := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, h)
+		method, path, _ := strings.Cut(pattern, " ")
+		s.mux.HandleFunc(method+" /v1"+path, h)
+	}
+	alias("GET /healthz", s.handleHealthz)
+	alias("GET /models", s.handleListModels)
+	alias("GET /models/{id}", s.handleGetModel)
+	alias("DELETE /models/{id}", s.handleEvictModel)
+	alias("POST /fit", s.handleFit)
+	alias("POST /sample", s.handleSample)
+
+	// v1-only resources.
+	s.mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 	return s, nil
 }
 
 // Handler returns the root http.Handler of the service.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Close releases resources the server created itself (currently the default
+// jobs manager, which cancels running jobs and waits for them). Callers that
+// injected their own Config.Jobs manage its lifecycle themselves.
+func (s *Server) Close() {
+	if s.ownsJobs {
+		s.cfg.Jobs.Close()
+	}
+}
+
 // apiError is the uniform JSON error body.
 type apiError struct {
 	Error string `json:"error"`
 }
 
-// writeJSON writes v as a JSON response with the given status.
+// writeJSON writes v as a JSON response with the given status. Encoding
+// failures cannot be turned into an error status (the header is already
+// written), so the handler is aborted instead: the connection drops and the
+// client sees a truncated transfer rather than a clean 200.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("server: writing JSON response: %v", err)
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// abortOnStreamError handles a failure while streaming a response body that
+// already carries a success status: log it and abort the handler so the
+// truncation is visible to the client as a broken connection, not a clean
+// end of body.
+func abortOnStreamError(what string, err error) {
+	if err != nil {
+		log.Printf("server: streaming %s: %v", what, err)
+		panic(http.ErrAbortHandler)
+	}
 }
 
 // writeError writes a JSON error body.
@@ -120,6 +211,8 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 type healthzResponse struct {
 	Status string       `json:"status"`
 	Models int          `json:"models"`
+	Graphs int          `json:"graphs"`
+	Jobs   int          `json:"jobs"`
 	Engine engine.Stats `json:"engine"`
 }
 
@@ -127,6 +220,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{
 		Status: "ok",
 		Models: s.cfg.Registry.Len(),
+		Graphs: s.cfg.Graphs.Len(),
+		Jobs:   len(s.cfg.Jobs.List()),
 		Engine: s.cfg.Engine.Stats(),
 	})
 }
@@ -149,7 +244,8 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(data)
+		_, err := w.Write(data)
+		abortOnStreamError("serialized model", err)
 		return
 	}
 	info, ok := s.cfg.Registry.Stat(id)
@@ -221,6 +317,18 @@ func payloadFromGraph(g *graph.Graph) *graphPayload {
 	return p
 }
 
+// checkGraphLimits enforces the configured node and attribute caps on a
+// materialised graph, whatever wire format it arrived in.
+func (s *Server) checkGraphLimits(g *graph.Graph) error {
+	if n := g.NumNodes(); n > s.cfg.MaxFitNodes {
+		return fmt.Errorf("graph has %d nodes, limit is %d", n, s.cfg.MaxFitNodes)
+	}
+	if w := g.NumAttributes(); w > s.cfg.MaxFitAttributes {
+		return fmt.Errorf("graph has %d attributes, limit is %d", w, s.cfg.MaxFitAttributes)
+	}
+	return nil
+}
+
 // datasetSpec asks the service to generate one of the calibrated synthetic
 // datasets server-side instead of uploading a graph.
 type datasetSpec struct {
@@ -229,15 +337,19 @@ type datasetSpec struct {
 	Seed  int64   `json:"seed,omitempty"`
 }
 
-// fitRequest is the POST /fit body. Exactly one of Graph or Dataset must be
-// set. Epsilon 0 requests a non-private (baseline) fit.
+// fitRequest is the POST /fit body. Exactly one of Graph, GraphID or Dataset
+// must be set. Epsilon 0 requests a non-private (baseline) fit. Parallelism
+// selects the structural model's stream count for acceptance-table fitting
+// (0 = auto, 1 = sequential for cross-machine reproducibility).
 type fitRequest struct {
 	Graph       *graphPayload `json:"graph,omitempty"`
+	GraphID     string        `json:"graph_id,omitempty"`
 	Dataset     *datasetSpec  `json:"dataset,omitempty"`
 	Epsilon     float64       `json:"epsilon,omitempty"`
 	Model       string        `json:"model,omitempty"`
 	TruncationK int           `json:"truncation_k,omitempty"`
 	Seed        int64         `json:"seed,omitempty"`
+	Parallelism int           `json:"parallelism,omitempty"`
 }
 
 // fitResponse is the POST /fit body on success.
@@ -255,22 +367,33 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding fit request: %v", err)
 		return
 	}
-	if (req.Graph == nil) == (req.Dataset == nil) {
-		writeError(w, http.StatusBadRequest, "exactly one of graph or dataset must be set")
+	inputs := 0
+	for _, set := range []bool{req.Graph != nil, req.GraphID != "", req.Dataset != nil} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of graph, graph_id or dataset must be set")
 		return
 	}
 	if req.Epsilon < 0 {
 		writeError(w, http.StatusBadRequest, "negative epsilon %v (use 0 for a non-private baseline fit)", req.Epsilon)
 		return
 	}
-	model, err := structural.ByName(req.Model, 0)
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "negative parallelism %d", req.Parallelism)
+		return
+	}
+	model, err := structural.ByName(req.Model, req.Parallelism)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	var g *graph.Graph
-	if req.Graph != nil {
+	switch {
+	case req.Graph != nil:
 		if req.Graph.N > s.cfg.MaxFitNodes {
 			writeError(w, http.StatusBadRequest, "graph has %d nodes, limit is %d", req.Graph.N, s.cfg.MaxFitNodes)
 			return
@@ -284,7 +407,18 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "invalid graph: %v", err)
 			return
 		}
-	} else {
+	case req.GraphID != "":
+		var ok bool
+		g, ok = s.cfg.Graphs.Get(req.GraphID)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no graph %q", req.GraphID)
+			return
+		}
+		if err := s.checkGraphLimits(g); err != nil {
+			writeError(w, http.StatusBadRequest, "stored %v", err)
+			return
+		}
+	default:
 		p, err := datasets.ByName(req.Dataset.Name)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -294,8 +428,8 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		if scale <= 0 {
 			scale = p.DefaultScale
 		}
-		if scale > 1 {
-			writeError(w, http.StatusBadRequest, "dataset scale %v outside (0, 1]", scale)
+		if err := datasets.CheckScale(scale); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		if scaled := p.Scaled(scale); scaled.Nodes > s.cfg.MaxFitNodes {
@@ -335,10 +469,13 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 
 // sampleRequest is the POST /sample body. Format selects the response shape:
 // "json" (default) inlines the graph as a graphPayload; "text" streams the
-// agmdp graph text format (deterministic and byte-identical for equal seeds);
-// "summary" returns statistics only. Parallelism overrides the engine's
-// intra-job stream count for this sample (0 = engine default, 1 = sequential);
-// seeded samples reproduce only at equal parallelism.
+// agmdp graph text format; "binary" streams the binary CSR snapshot (both
+// deterministic and byte-identical for equal seeds); "summary" returns
+// statistics only. Store stores the sampled graph into the graph store and
+// returns its ID with the summary instead of inlining the graph (JSON
+// formats only). Parallelism overrides the engine's intra-job stream count
+// for this sample (0 = engine default, 1 = sequential); seeded samples
+// reproduce only at equal parallelism.
 type sampleRequest struct {
 	ID          string `json:"id"`
 	Seed        int64  `json:"seed,omitempty"`
@@ -346,6 +483,7 @@ type sampleRequest struct {
 	Model       string `json:"model,omitempty"`
 	Format      string `json:"format,omitempty"`
 	Parallelism int    `json:"parallelism,omitempty"`
+	Store       bool   `json:"store,omitempty"`
 }
 
 // sampleResponse is the POST /sample body for the json and summary formats.
@@ -355,6 +493,7 @@ type sampleResponse struct {
 	Nodes     int           `json:"nodes"`
 	Edges     int           `json:"edges"`
 	Triangles int64         `json:"triangles"`
+	GraphID   string        `json:"graph_id,omitempty"`
 	Graph     *graphPayload `json:"graph,omitempty"`
 }
 
@@ -368,9 +507,13 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch req.Format {
-	case "", "json", "text", "summary":
+	case "", "json", "text", "binary", "summary":
 	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text or summary)", req.Format)
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text, binary or summary)", req.Format)
+		return
+	}
+	if req.Store && (req.Format == "text" || req.Format == "binary") {
+		writeError(w, http.StatusBadRequest, "store returns a JSON summary; it cannot be combined with format %q", req.Format)
 		return
 	}
 	// The shared decoded instance skips a per-request model decode; sampling
@@ -406,9 +549,15 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if req.Format == "text" {
+	switch req.Format {
+	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		g.WriteGraph(w)
+		abortOnStreamError("sampled graph text", g.WriteGraph(w))
+		return
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(g.BinarySize()))
+		abortOnStreamError("sampled graph snapshot", g.WriteBinary(w))
 		return
 	}
 	resp := sampleResponse{
@@ -418,7 +567,14 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		Edges:     g.NumEdges(),
 		Triangles: g.Triangles(),
 	}
-	if req.Format != "summary" {
+	if req.Store {
+		id, err := s.cfg.Graphs.Put(g)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "storing sampled graph: %v", err)
+			return
+		}
+		resp.GraphID = id
+	} else if req.Format != "summary" {
 		resp.Graph = payloadFromGraph(g)
 	}
 	writeJSON(w, http.StatusOK, resp)

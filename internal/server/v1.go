@@ -1,0 +1,264 @@
+package server
+
+// The /v1-only resource handlers: the graph store collection (/v1/graphs)
+// and the asynchronous sampling jobs (/v1/jobs). The shared actions and the
+// model collection live in server.go, registered under both the /v1 and the
+// legacy unversioned paths.
+
+import (
+	"fmt"
+	"mime"
+	"net/http"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/jobs"
+	"agmdp/internal/structural"
+)
+
+// graphResponse is the body of graph-creating endpoints.
+type graphResponse struct {
+	ID   string          `json:"id"`
+	Info graphstore.Info `json:"info"`
+}
+
+// listGraphsResponse is the GET /v1/graphs body.
+type listGraphsResponse struct {
+	Graphs []graphstore.Info `json:"graphs"`
+}
+
+// handleCreateGraph uploads a graph into the store. The wire format is
+// negotiated from the Content-Type: application/json carries the inline
+// graphPayload, text/plain the agmdp text format, and
+// application/octet-stream (or application/x-agmdp-csr) the binary CSR
+// snapshot. All formats are validated and re-encoded canonically, so the
+// returned ID depends only on the graph, not on how it was uploaded.
+func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	mediaType := "application/json"
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		var err error
+		mediaType, _, err = mime.ParseMediaType(ct)
+		if err != nil {
+			writeError(w, http.StatusUnsupportedMediaType, "unparseable Content-Type %q", ct)
+			return
+		}
+	}
+
+	var g *graph.Graph
+	switch mediaType {
+	case "application/json":
+		var p graphPayload
+		if err := s.decodeBody(w, r, &p); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding graph payload: %v", err)
+			return
+		}
+		if p.N > s.cfg.MaxFitNodes {
+			writeError(w, http.StatusBadRequest, "graph has %d nodes, limit is %d", p.N, s.cfg.MaxFitNodes)
+			return
+		}
+		var err error
+		g, err = p.toGraph()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid graph: %v", err)
+			return
+		}
+	case "text/plain":
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var err error
+		g, err = graph.ReadGraph(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing graph text: %v", err)
+			return
+		}
+	case "application/octet-stream", "application/x-agmdp-csr":
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var err error
+		g, err = graph.ReadBinary(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing binary snapshot: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			"unsupported Content-Type %q (want application/json, text/plain or application/octet-stream)", mediaType)
+		return
+	}
+	if err := s.checkGraphLimits(g); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	id, err := s.cfg.Graphs.Put(g)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "storing graph: %v", err)
+		return
+	}
+	info, _ := s.cfg.Graphs.Stat(id)
+	writeJSON(w, http.StatusCreated, graphResponse{ID: id, Info: info})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listGraphsResponse{Graphs: s.cfg.Graphs.List()})
+}
+
+// handleGetGraph stats a stored graph, or downloads it when ?format= names a
+// wire format: "json" inlines the graphPayload, "text" streams the agmdp
+// text form, "binary" the canonical CSR snapshot (served from the stored
+// bytes without a re-encode).
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "text", "binary":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text or binary)", format)
+		return
+	}
+	g, ok := s.cfg.Graphs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", id)
+		return
+	}
+	switch format {
+	case "":
+		info, _ := s.cfg.Graphs.Stat(id)
+		writeJSON(w, http.StatusOK, info)
+	case "json":
+		writeJSON(w, http.StatusOK, payloadFromGraph(g))
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		abortOnStreamError("stored graph text", g.WriteGraph(w))
+	case "binary":
+		// The entry can be evicted between Get and Bytes; fall back to
+		// re-encoding the graph already in hand (canonical, so identical
+		// bytes) rather than serving a 200 with an empty body.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if data, ok := s.cfg.Graphs.Bytes(id); ok {
+			w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+			_, err := w.Write(data)
+			abortOnStreamError("stored graph snapshot", err)
+			return
+		}
+		w.Header().Set("Content-Length", fmt.Sprint(g.BinarySize()))
+		abortOnStreamError("stored graph snapshot", g.WriteBinary(w))
+	}
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.cfg.Graphs.Evict(id) {
+		writeError(w, http.StatusNotFound, "no graph %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// jobRequest is the POST /v1/jobs body: draw Count samples from the stored
+// model, optionally storing each sampled graph back into the graph store.
+// With a non-zero Seed, sample i runs with seed Seed+i, so the batch is as
+// reproducible as the equivalent synchronous requests.
+type jobRequest struct {
+	ModelID     string `json:"model_id"`
+	Count       int    `json:"count,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	Iterations  int    `json:"iterations,omitempty"`
+	Model       string `json:"model,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	Store       bool   `json:"store,omitempty"`
+}
+
+// jobResponse is the body of the job endpoints: the job snapshot, plus the
+// per-sample results on single-job GETs.
+type jobResponse struct {
+	jobs.Info
+	Results []jobs.SampleResult `json:"results,omitempty"`
+}
+
+// listJobsResponse is the GET /v1/jobs body.
+type listJobsResponse struct {
+	Jobs []jobs.Info `json:"jobs"`
+}
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
+		return
+	}
+	count := req.Count
+	if count == 0 {
+		count = 1
+	}
+	if count < 1 || count > s.cfg.MaxJobSamples {
+		writeError(w, http.StatusBadRequest, "count %d outside [1, %d]", count, s.cfg.MaxJobSamples)
+		return
+	}
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "negative parallelism %d", req.Parallelism)
+		return
+	}
+	if req.Seed < 0 && req.Seed+int64(count) > 0 {
+		writeError(w, http.StatusBadRequest,
+			"seed range [%d, %d] crosses 0 (sample i runs with seed seed+i; 0 means unseeded)",
+			req.Seed, req.Seed+int64(count)-1)
+		return
+	}
+	if req.Model != "" {
+		if _, err := structural.ByName(req.Model, 0); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	m, ok := s.cfg.Registry.Model(req.ModelID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no model %q", req.ModelID)
+		return
+	}
+
+	id, err := s.cfg.Jobs.Submit(jobs.Spec{
+		Model:       m,
+		ModelID:     req.ModelID,
+		Count:       count,
+		Seed:        req.Seed,
+		Iterations:  req.Iterations,
+		ModelKind:   req.Model,
+		Parallelism: req.Parallelism,
+		Store:       req.Store,
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "submitting job: %v", err)
+		return
+	}
+	info, _, _ := s.cfg.Jobs.Get(id)
+	writeJSON(w, http.StatusAccepted, jobResponse{Info: info})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listJobsResponse{Jobs: s.cfg.Jobs.List()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, results, ok := s.cfg.Jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	// Pending samples are zero-valued slots; only report finished ones.
+	done := make([]jobs.SampleResult, 0, len(results))
+	for _, res := range results {
+		if res.Seed != 0 || res.Error != "" || res.Nodes != 0 {
+			done = append(done, res)
+		}
+	}
+	writeJSON(w, http.StatusOK, jobResponse{Info: info, Results: done})
+}
+
+func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.cfg.Jobs.Cancel(id) {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

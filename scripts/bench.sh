@@ -4,7 +4,7 @@
 #
 #   scripts/bench.sh [output.json]
 #
-# The default output is BENCH_pr3.json in the repository root; the PR number
+# The default output is BENCH_pr4.json in the repository root; the PR number
 # is parsed from the file name. Each entry holds the benchmark name,
 # iteration count, ns/op and (when reported) B/op and allocs/op; the
 # "speedups" section reports every before/after ratio whose benchmark pair is
@@ -13,13 +13,14 @@
 #   PR 2 pairs — CSR core vs the map-adjacency baseline
 #   PR 3 pairs — parallel (shared worker pool) vs sequential analytics and
 #                TriCycLe rewiring
+#   PR 4 pairs — binary CSR snapshot codec vs the line-oriented text format
 #
 # BENCH_PKGS overrides the benchmarked packages (the root package holds the
 # much slower paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr4.json}"
 pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -79,6 +80,9 @@ pairs = {
         "BenchmarkMaxCommonNeighborsSequential", "BenchmarkMaxCommonNeighborsParallel"),
     "tricycle_rewire_parallel_vs_sequential": (
         "BenchmarkTriCycLeRewireSequential", "BenchmarkTriCycLeRewireParallel"),
+    # PR 4: binary CSR snapshot codec vs the text format (118k-edge fixture).
+    "read_binary_vs_text": ("BenchmarkReadGraphText", "BenchmarkReadGraphBinary"),
+    "write_binary_vs_text": ("BenchmarkWriteGraphText", "BenchmarkWriteGraphBinary"),
 }
 speedups = {}
 for key, (base, new) in pairs.items():
@@ -92,7 +96,8 @@ doc = {
     "pr": int(pr_match.group(1)) if pr_match else None,
     "description": "Performance trajectory benchmarks (10k-node heavy-tailed "
                    "Chung-Lu fixtures); *_parallel_vs_sequential pairs measure "
-                   "the shared worker pool",
+                   "the shared worker pool; *_binary_vs_text pairs measure the "
+                   "binary CSR snapshot codec on a 30k-node/118k-edge fixture",
     "host_cpus": cores,
     "notes": None if cores > 1 else (
         "recorded on a 1-core container: the parallel paths resolve to one "
