@@ -143,9 +143,11 @@ type Options struct {
 	// sampling. Runs with equal seeds and inputs are reproducible.
 	Seed int64
 	// Parallelism is the number of concurrent streams used by the structural
-	// generators: ≤ 0 means "auto" (the process default, see SetParallelism),
-	// 1 forces sequential generation. Sampling output is deterministic per
-	// (Seed, resolved worker count) pair.
+	// generators and the fitting pipeline's measurement passes: ≤ 0 means
+	// "auto" (the process default, see SetParallelism), 1 forces sequential
+	// execution. Fitted models are bit-identical for every worker count;
+	// sampling output is deterministic per (Seed, resolved worker count)
+	// pair.
 	Parallelism int
 }
 
@@ -163,6 +165,7 @@ func Fit(g *Graph, opts Options) (*FittedModel, error) {
 		Epsilon:     opts.Epsilon,
 		TruncationK: opts.TruncationK,
 		Model:       model,
+		Parallelism: opts.Parallelism,
 	})
 }
 
@@ -171,12 +174,14 @@ func Fit(g *Graph, opts Options) (*FittedModel, error) {
 func FitNonPrivate(g *Graph, kind ModelKind) (*FittedModel, error) {
 	// Baselines pin sequential generation (parallelism 1) so the paper's
 	// reference points are byte-reproducible across machines; use Options
-	// with Sample/Synthesize when baseline throughput matters more.
+	// with Sample/Synthesize when baseline throughput matters more. The
+	// fitting measurements themselves still run at the process default —
+	// they are bit-identical for every worker count.
 	model, err := structuralModel(kind, 1)
 	if err != nil {
 		return nil, err
 	}
-	return core.Fit(g, model), nil
+	return core.FitWith(g, model, 0), nil
 }
 
 // Sample draws one synthetic attributed graph from a fitted model. By the
@@ -205,6 +210,7 @@ func Synthesize(g *Graph, opts Options) (*Graph, *FittedModel, error) {
 		Epsilon:     opts.Epsilon,
 		TruncationK: opts.TruncationK,
 		Model:       model,
+		Parallelism: opts.Parallelism,
 	}, core.SampleOptions{Iterations: opts.SampleIterations, Model: model})
 }
 

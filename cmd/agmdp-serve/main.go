@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	agmdp-serve [-addr :8080] [-store DIR] [-graph-store DIR] [-workers N] [-queue N]
-//	            [-parallelism N] [-seed 1] [-max-models N] [-max-graphs N]
-//	            [-jobs-retain N] [-max-job-samples N]
+//	agmdp-serve [-addr :8080] [-store DIR] [-graph-store DIR] [-jobs-dir DIR]
+//	            [-workers N] [-queue N] [-parallelism N] [-seed 1]
+//	            [-max-models N] [-max-graphs N] [-jobs-retain N]
+//	            [-max-job-samples N]
 //
 // The service speaks the versioned, resource-oriented /v1 API (see
 // docs/api.md for the full reference):
@@ -17,13 +18,18 @@
 //	GET    /v1/graphs[/{id}] list graphs / stat one (?format=json|text|binary downloads)
 //	DELETE /v1/graphs/{id}   evict a graph
 //	POST   /v1/fit           fit a model from a stored graph, inline graph or dataset
+//	                         (async:true detaches the fit into a job)
 //	POST   /v1/sample        sample synchronously (inline, stored, text or binary)
-//	POST   /v1/jobs          submit an async batch sampling job
-//	GET    /v1/jobs[/{id}]   list jobs / poll progress and per-sample results
+//	POST   /v1/jobs          submit an async job: batch sampling, or kind:"fit"
+//	GET    /v1/jobs[/{id}]   list jobs / poll progress and results
 //	DELETE /v1/jobs/{id}     cancel (or drop) a job
 //	GET    /v1/models[/{id}] list models / metadata (?full=1 for the serialized model)
 //	DELETE /v1/models/{id}   evict a model
 //	GET    /v1/healthz       service health, resource counts and engine load
+//
+// Finished-job metadata persists to -jobs-dir (defaulting to a jobs/
+// directory inside -graph-store when one is configured), so job results —
+// including the model IDs of async fits — survive restarts.
 //
 // The original unversioned endpoints (/fit, /sample, /models…, /healthz)
 // remain as aliases of the v1 handlers.
@@ -44,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -85,9 +92,10 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		addr          = fs.String("addr", ":8080", "listen address")
 		store         = fs.String("store", "", "model store directory (empty = in-memory only)")
 		graphStore    = fs.String("graph-store", "", "graph store directory for binary CSR snapshots (empty = in-memory only)")
+		jobsDir       = fs.String("jobs-dir", "", "finished-job metadata directory (empty = <graph-store>/jobs, or in-memory when no graph store)")
 		workers       = fs.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
 		queue         = fs.Int("queue", 0, "job queue bound (0 = 4x workers)")
-		parallelism   = fs.Int("parallelism", 0, "intra-job sampling streams (0 = auto/GOMAXPROCS, 1 = sequential)")
+		parallelism   = fs.Int("parallelism", 0, "intra-job sampling streams and fit-pipeline workers (0 = auto/GOMAXPROCS, 1 = sequential)")
 		seed          = fs.Int64("seed", 1, "base seed for the per-worker RNG streams")
 		maxModels     = fs.Int("max-models", 0, "max resident models, oldest evicted first (0 = unbounded)")
 		maxGraphs     = fs.Int("max-graphs", 0, "max resident graphs, oldest evicted first (0 = unbounded)")
@@ -127,10 +135,19 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		Acceptance: reg,
 	})
 	defer eng.Close()
+	// Finished-job metadata lives next to the graph store by default, so a
+	// deployment that persists its graphs automatically keeps its job
+	// results — including async fit model IDs — across restarts.
+	jobsPath := *jobsDir
+	if jobsPath == "" && *graphStore != "" {
+		jobsPath = filepath.Join(*graphStore, "jobs")
+	}
 	jobMgr, err := jobs.New(jobs.Options{
 		Engine: eng,
 		Store:  graphs,
+		Models: reg,
 		Retain: *jobsRetain,
+		Dir:    jobsPath,
 		// Matches the server's default /sample deadline, so a wedged sample
 		// inside a batch job cannot occupy an engine worker forever.
 		SampleTimeout: time.Minute,
@@ -138,16 +155,20 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	if err != nil {
 		return err
 	}
+	for _, warning := range jobMgr.Warnings() {
+		log.Printf("agmdp-serve: skipped job record: %s", warning)
+	}
 	// Deferred after eng.Close, so running jobs are cancelled and drained
 	// before the engine shuts down.
 	defer jobMgr.Close()
 
 	srv, err := server.New(server.Config{
-		Registry:      reg,
-		Engine:        eng,
-		Graphs:        graphs,
-		Jobs:          jobMgr,
-		MaxJobSamples: *maxJobSamples,
+		Registry:       reg,
+		Engine:         eng,
+		Graphs:         graphs,
+		Jobs:           jobMgr,
+		MaxJobSamples:  *maxJobSamples,
+		FitParallelism: *parallelism,
 	})
 	if err != nil {
 		return err

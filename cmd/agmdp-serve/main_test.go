@@ -175,6 +175,148 @@ func TestServeV1GraphStoreSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestServeJobsSurviveRestart drives the async job flow against the real
+// command and kills/restarts it around running work: finished fit and sample
+// job metadata must survive the restart (persisted next to the graph store),
+// GET /v1/jobs/{id} must resolve on the new instance, and a job caught
+// mid-run by the shutdown must come back in a terminal state rather than
+// vanishing or wedging.
+func TestServeJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	store := t.TempDir()
+	base, shutdown := startService(t, "-graph-store", dir, "-store", store)
+
+	// Upload an input graph, then fit it asynchronously.
+	payload := `{"n":40,"w":0,"edges":[`
+	edges := make([]string, 0, 80)
+	for i := 0; i < 40; i++ {
+		edges = append(edges, fmt.Sprintf("[%d,%d]", i, (i+1)%40), fmt.Sprintf("[%d,%d]", i, (i+7)%40))
+	}
+	payload += strings.Join(edges, ",") + `]}`
+	up, err := http.Post(base+"/v1/graphs", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(up.Body).Decode(&gr); err != nil {
+		t.Fatal(err)
+	}
+	up.Body.Close()
+	if up.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d", up.StatusCode)
+	}
+
+	type jobBody struct {
+		ID      string `json:"id"`
+		Kind    string `json:"kind"`
+		Status  string `json:"status"`
+		ModelID string `json:"model_id"`
+		Fit     *struct {
+			ModelID string `json:"model_id"`
+		} `json:"fit"`
+	}
+	submit := func(path, body string) jobBody {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jb jobBody
+		if err := json.NewDecoder(resp.Body).Decode(&jb); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted || jb.ID == "" {
+			t.Fatalf("submit %s: %d %+v", path, resp.StatusCode, jb)
+		}
+		return jb
+	}
+	getJob := func(base, id string) (jobBody, int) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jb jobBody
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&jb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return jb, resp.StatusCode
+	}
+	waitDone := func(id string) jobBody {
+		t.Helper()
+		deadline := time.Now().Add(time.Minute)
+		for {
+			jb, code := getJob(base, id)
+			if code != http.StatusOK {
+				t.Fatalf("poll %s: %d", id, code)
+			}
+			switch jb.Status {
+			case "done", "failed", "cancelled":
+				return jb
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", id, jb.Status)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	fitJob := submit("/v1/fit", fmt.Sprintf(`{"graph_id":%q,"epsilon":1.0,"seed":3,"async":true}`, gr.ID))
+	fitDone := waitDone(fitJob.ID)
+	if fitDone.Status != "done" || fitDone.Fit == nil || fitDone.Fit.ModelID == "" {
+		t.Fatalf("fit job ended %+v", fitDone)
+	}
+	sampleJob := submit("/v1/jobs", fmt.Sprintf(`{"model_id":%q,"count":2,"seed":11}`, fitDone.Fit.ModelID))
+	waitDone(sampleJob.ID)
+
+	// A long-running batch that the shutdown will catch mid-run.
+	midRun := submit("/v1/jobs", fmt.Sprintf(`{"model_id":%q,"count":500,"seed":1000}`, fitDone.Fit.ModelID))
+	shutdown()
+
+	base2, shutdown2 := startService(t, "-graph-store", dir, "-store", store)
+	defer shutdown2()
+
+	// Finished jobs resolve after the restart with their terminal metadata.
+	restoredFit, code := getJob(base2, fitJob.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fit job did not survive restart: %d", code)
+	}
+	if restoredFit.Kind != "fit" || restoredFit.Status != "done" ||
+		restoredFit.Fit == nil || restoredFit.Fit.ModelID != fitDone.Fit.ModelID {
+		t.Fatalf("restored fit job %+v, want model %s", restoredFit, fitDone.Fit.ModelID)
+	}
+	// And the model it names is still served (the model store persisted it).
+	mresp, err := http.Get(base2 + "/v1/models/" + restoredFit.Fit.ModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("fitted model lost across restart: %d", mresp.StatusCode)
+	}
+	restoredSample, code := getJob(base2, sampleJob.ID)
+	if code != http.StatusOK || restoredSample.Kind != "sample" || restoredSample.Status != "done" {
+		t.Fatalf("sample job did not survive restart: %d %+v", code, restoredSample)
+	}
+	// The mid-run job either finished before the drain or was cancelled by
+	// it; in both cases the restarted service must report a terminal state.
+	restoredMid, code := getJob(base2, midRun.ID)
+	if code != http.StatusOK {
+		t.Fatalf("mid-run job left no record: %d", code)
+	}
+	switch restoredMid.Status {
+	case "done", "failed", "cancelled":
+	default:
+		t.Fatalf("mid-run job restored in non-terminal state %q", restoredMid.Status)
+	}
+}
+
 func TestServeBadFlags(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &buf, nil); err == nil {

@@ -1,0 +1,82 @@
+package attrs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/parallel"
+)
+
+// histFixture builds an attributed graph; big enough (n=2000, ~8k edges) to
+// clear the sharding threshold when big is true, tiny otherwise (exercising
+// the sequential fallback).
+func histFixture(tb testing.TB, big bool) *graph.Graph {
+	tb.Helper()
+	n, perNode := 60, 2
+	if big {
+		n, perNode = 2000, 6
+	}
+	rng := rand.New(rand.NewSource(3))
+	edges := make([]graph.Edge, 0, perNode*n)
+	for i := 0; i < perNode*n; i++ {
+		u := int(float64(n) * rng.Float64() * rng.Float64())
+		edges = append(edges, graph.Edge{U: u, V: rng.Intn(n)})
+	}
+	g := graph.FromEdges(n, 0, edges)
+	attrs := make([]graph.AttrVector, n)
+	for i := range attrs {
+		attrs[i] = graph.AttrVector(rng.Uint64() & 7)
+	}
+	g = g.WithAttributes(3, attrs)
+	if big && g.NumEdges() < parallel.MinShardEdges {
+		tb.Fatalf("fixture has %d edges, below the sharding threshold", g.NumEdges())
+	}
+	return g
+}
+
+func TestNodeConfigCountsWithMatchesSequential(t *testing.T) {
+	for _, big := range []bool{false, true} {
+		g := histFixture(t, big)
+		want := NodeConfigCounts(g)
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			got := NodeConfigCountsWith(g, workers)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("big=%t workers=%d: node-config counts differ from sequential", big, workers)
+			}
+		}
+	}
+}
+
+func TestEdgeConfigCountsWithMatchesSequential(t *testing.T) {
+	for _, big := range []bool{false, true} {
+		g := histFixture(t, big)
+		want := EdgeConfigCounts(g)
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			got := EdgeConfigCountsWith(g, workers)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("big=%t workers=%d: edge-config counts differ from sequential", big, workers)
+			}
+		}
+	}
+}
+
+// TestLearnDPWithMatchesSequential pins that the sharded counting pass does
+// not perturb the privacy mechanisms: equal rng seeds give bit-identical
+// released estimates at every worker count.
+func TestLearnDPWithMatchesSequential(t *testing.T) {
+	g := histFixture(t, true)
+	wantX := LearnAttributesDP(rand.New(rand.NewSource(9)), g, 0.5)
+	wantF := LearnCorrelationsDP(rand.New(rand.NewSource(9)), g, 0.5, 12)
+	for _, workers := range []int{1, 2, 5, 16} {
+		gotX := LearnAttributesDPWith(rand.New(rand.NewSource(9)), g, 0.5, workers)
+		if !reflect.DeepEqual(wantX, gotX) {
+			t.Errorf("workers=%d: LearnAttributesDPWith differs from sequential", workers)
+		}
+		gotF := LearnCorrelationsDPWith(rand.New(rand.NewSource(9)), g, 0.5, 12, workers)
+		if !reflect.DeepEqual(wantF, gotF) {
+			t.Errorf("workers=%d: LearnCorrelationsDPWith differs from sequential", workers)
+		}
+	}
+}

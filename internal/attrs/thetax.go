@@ -35,10 +35,17 @@ func TrueThetaX(g *graph.Graph) []float64 {
 // with Laplace noise of scale 2/ε, clamps the noisy counts to [0, n] and
 // normalises them into a distribution.
 func LearnAttributesDP(rng *rand.Rand, g *graph.Graph, epsilon float64) []float64 {
+	return learnAttributesDP(rng, g, epsilon, NodeConfigCounts(g))
+}
+
+// learnAttributesDP perturbs pre-computed node-configuration counts; the
+// noise draws are sequential on rng in index order, so the output depends
+// only on the counts and the rng state, not on how the counts were
+// accumulated (LearnAttributesDPWith shards the counting pass).
+func learnAttributesDP(rng *rand.Rand, g *graph.Graph, epsilon float64, counts []float64) []float64 {
 	if epsilon <= 0 {
 		panic(fmt.Sprintf("attrs: non-positive epsilon %v", epsilon))
 	}
-	counts := NodeConfigCounts(g)
 	noisy := dp.LaplaceVector(rng, counts, ThetaXSensitivity, epsilon)
 	n := float64(g.NumNodes())
 	for i := range noisy {

@@ -89,6 +89,14 @@ type Config struct {
 	// four-way split for TriCycLe, and ½ for S plus ¼ each for ΘX and ΘF for
 	// FCL.
 	BudgetSplit []float64
+	// Parallelism is the worker count for the fitting pipeline's measurement
+	// passes (degree extraction, node- and edge-configuration histograms,
+	// triangle and common-neighbour counting): ≤ 0 means "auto" (the process
+	// default, see parallel.SetParallelism), 1 forces sequential fitting.
+	// Every measurement pass is bit-identical for all worker counts and the
+	// noise draws stay sequential on the caller's rng, so a fitted model
+	// depends only on (graph, Config, rng seed) — never on Parallelism.
+	Parallelism int
 }
 
 // normalizedModel returns the configured structural model, defaulting to
@@ -102,26 +110,50 @@ func (c Config) normalizedModel() structural.Model {
 
 // Fit learns exact (non-private) AGM parameters from g for the given
 // structural model. It is the baseline the paper reports as AGM-FCL /
-// AGM-TriCL.
+// AGM-TriCL. The measurement passes run at the process-default parallelism;
+// see FitWith for an explicit worker count (results are identical either
+// way).
 func Fit(g *graph.Graph, model structural.Model) *FittedModel {
+	return FitWith(g, model, 0)
+}
+
+// FitWith is Fit with an explicit worker count for the measurement passes
+// (degree extraction, attribute histograms, triangle counting): ≤ 0 selects
+// the process default, 1 forces sequential fitting. Every pass is
+// bit-identical for all worker counts, so the fitted model depends only on
+// the input graph and the model choice.
+func FitWith(g *graph.Graph, model structural.Model, parallelism int) *FittedModel {
 	if model == nil {
 		model = structural.TriCycLe{}
 	}
-	params := structural.Params{Degrees: g.DegreeSequence()}
+	params := structural.Params{Degrees: g.DegreeSequenceWith(parallelism)}
 	switch model.(type) {
 	case structural.TriCycLe:
-		params.Triangles = g.Triangles()
+		params.Triangles = g.TrianglesWith(parallelism)
 	case structural.TCL:
 		params.Rho = structural.FitRho(g, 0)
 	}
 	return &FittedModel{
 		N:          g.NumNodes(),
 		W:          g.NumAttributes(),
-		ThetaX:     attrs.TrueThetaX(g),
-		ThetaF:     attrs.TrueThetaF(g),
+		ThetaX:     attrs.TrueThetaXWith(g, parallelism),
+		ThetaF:     attrs.TrueThetaFWith(g, parallelism),
 		Structural: params,
 		ModelName:  model.Name(),
 	}
+}
+
+// FitModel runs the fit a Config describes end to end: the differentially
+// private pipeline (FitDP) when cfg.Epsilon > 0, the exact non-private
+// baseline (FitWith) otherwise. It is the single fit entry point shared by
+// the synchronous HTTP handler and the asynchronous fit jobs, so the two
+// paths cannot drift apart — an async fit registers exactly the model the
+// synchronous fit would have.
+func FitModel(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
+	if cfg.Epsilon > 0 {
+		return FitDP(rng, g, cfg)
+	}
+	return FitWith(g, cfg.normalizedModel(), cfg.Parallelism), nil
 }
 
 // FitDP (lines 2–5 of Algorithm 3) learns ε-differentially private AGM
@@ -171,28 +203,36 @@ func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 		return budget.Spend(eps)
 	}
 
+	// The learning procedures below interleave two kinds of work: exact
+	// measurements of the input graph (histograms, degrees, triangle and
+	// common-neighbour counts), which shard onto the worker pool at
+	// cfg.Parallelism and are bit-identical for every worker count, and the
+	// privacy-critical noise draws, which stay sequential on rng in a fixed
+	// order. A private fit is therefore reproducible per (graph, cfg, rng
+	// seed) no matter how many workers measure the graph.
+
 	// Θ̃X — LearnAttributesDP (Algorithm 5).
 	if err := charge(epsX); err != nil {
 		return nil, err
 	}
-	thetaX := attrs.LearnAttributesDP(rng, g, epsX)
+	thetaX := attrs.LearnAttributesDPWith(rng, g, epsX, cfg.Parallelism)
 
 	// Θ̃F — LearnCorrelationsDP (Algorithm 4, edge truncation).
 	if err := charge(epsF); err != nil {
 		return nil, err
 	}
-	thetaF := attrs.LearnCorrelationsDP(rng, g, epsF, k)
+	thetaF := attrs.LearnCorrelationsDPWith(rng, g, epsF, k, cfg.Parallelism)
 
 	// Θ̃M — FitTriCycLeDP (Algorithm 6) or the FCL degree sequence.
 	if err := charge(epsS); err != nil {
 		return nil, err
 	}
-	params := structural.Params{Degrees: degrees.PrivateSequence(rng, g, epsS)}
+	params := structural.Params{Degrees: degrees.PrivateSequenceWith(rng, g, epsS, cfg.Parallelism)}
 	if _, ok := model.(structural.TriCycLe); ok {
 		if err := charge(epsTri); err != nil {
 			return nil, err
 		}
-		params.Triangles = triangles.PrivateCount(rng, g, epsTri)
+		params.Triangles = triangles.PrivateCountWith(rng, g, epsTri, cfg.Parallelism)
 	}
 
 	return &FittedModel{

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/parallel"
+	"agmdp/internal/structural"
+)
+
+// TestMain honours AGMDP_TEST_PARALLELISM, which CI's multi-worker race pass
+// sets to force every auto-resolved parallel path onto a fixed worker count
+// different from both 1 and GOMAXPROCS, exercising the sharded fit and
+// analytics interleavings the default run might miss.
+func TestMain(m *testing.M) {
+	if v := os.Getenv("AGMDP_TEST_PARALLELISM"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad AGMDP_TEST_PARALLELISM %q: %v\n", v, err)
+			os.Exit(2)
+		}
+		parallel.SetParallelism(n)
+	}
+	os.Exit(m.Run())
+}
+
+// fitFixture builds an attributed heavy-tailed graph big enough to clear the
+// sharding threshold (m >= parallel.MinShardEdges), so the parallel fit paths
+// genuinely fan out instead of taking their sequential fallbacks.
+func fitFixture(tb testing.TB, n int) *graph.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	edges := make([]graph.Edge, 0, 6*n)
+	for i := 0; i < 6*n; i++ {
+		// Square one endpoint's draw toward low IDs for a skewed degree profile.
+		u := int(float64(n) * rng.Float64() * rng.Float64())
+		v := rng.Intn(n)
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g := graph.FromEdges(n, 0, edges)
+	attrs := make([]graph.AttrVector, n)
+	for i := range attrs {
+		attrs[i] = graph.AttrVector(rng.Uint64() & 3)
+	}
+	g = g.WithAttributes(2, attrs)
+	if g.NumEdges() < parallel.MinShardEdges {
+		tb.Fatalf("fixture has %d edges, below the sharding threshold %d", g.NumEdges(), parallel.MinShardEdges)
+	}
+	return g
+}
+
+// marshalOrDie serialises a model canonically so bit-identity can be asserted
+// on the exact bytes a registry would store.
+func marshalOrDie(t *testing.T, m *FittedModel) []byte {
+	t.Helper()
+	data, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFitWithParallelMatchesSequential pins the determinism contract of the
+// exact fitting pipeline: for every worker count the fitted model is
+// byte-identical to the sequential fit.
+func TestFitWithParallelMatchesSequential(t *testing.T) {
+	g := fitFixture(t, 2000)
+	for _, model := range []structural.Model{structural.TriCycLe{}, structural.FCL{}} {
+		want := marshalOrDie(t, FitWith(g, model, 1))
+		for _, workers := range []int{2, 3, 5, 8} {
+			got := marshalOrDie(t, FitWith(g, model, workers))
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s: FitWith(%d workers) differs from sequential fit", model.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestFitDPParallelMatchesSequential pins the same contract for the private
+// pipeline: the noise draws stay sequential on the rng, so equal seeds give
+// byte-identical private models at every worker count.
+func TestFitDPParallelMatchesSequential(t *testing.T) {
+	g := fitFixture(t, 2000)
+	for _, model := range []structural.Model{structural.TriCycLe{}, structural.FCL{}} {
+		fit := func(workers int) []byte {
+			m, err := FitDP(rand.New(rand.NewSource(7)), g, Config{
+				Epsilon:     1.0,
+				Model:       model,
+				Parallelism: workers,
+			})
+			if err != nil {
+				t.Fatalf("%s: FitDP(%d workers): %v", model.Name(), workers, err)
+			}
+			return marshalOrDie(t, m)
+		}
+		want := fit(1)
+		for _, workers := range []int{2, 3, 5, 8} {
+			if got := fit(workers); !bytes.Equal(want, got) {
+				t.Errorf("%s: FitDP at %d workers differs from sequential", model.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestFitAutoParallelismMatchesExplicit guards the knob resolution: the auto
+// default (Parallelism <= 0) must produce the same model as any explicit
+// worker count.
+func TestFitAutoParallelismMatchesExplicit(t *testing.T) {
+	g := fitFixture(t, 2000)
+	auto := marshalOrDie(t, FitWith(g, structural.TriCycLe{}, 0))
+	seq := marshalOrDie(t, FitWith(g, structural.TriCycLe{}, 1))
+	if !bytes.Equal(auto, seq) {
+		t.Error("auto-parallel fit differs from sequential fit")
+	}
+}

@@ -135,6 +135,14 @@ type Engine struct {
 	closed    bool
 	completed atomic.Int64
 	failed    atomic.Int64
+
+	// fitMu/fitting single-flight the acceptance-table fits: when several
+	// workers miss the cache for the same cold model at once, one fits and
+	// the rest wait for its result instead of burning a structural
+	// generation each on identical work (tables are pure functions of the
+	// model, so every duplicate would have produced the same bytes).
+	fitMu   sync.Mutex
+	fitting map[string]chan struct{}
 }
 
 // New starts an engine with cfg.Workers sampling workers. Callers must Close
@@ -142,8 +150,9 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:  cfg,
-		jobs: make(chan *job, cfg.QueueSize),
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.QueueSize),
+		fitting: make(map[string]chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -216,19 +225,47 @@ func (e *Engine) sampleOnce(req Request, seed int64) (*graph.Graph, error) {
 	// path (and return the same graph for the same seed).
 	if e.cfg.Acceptance != nil && req.CacheKey != "" && req.ModelKind == "" &&
 		(req.Iterations <= 0 || req.Iterations == core.DefaultSampleIterations) {
-		table, ok := e.cfg.Acceptance.Acceptance(req.CacheKey)
-		if !ok {
-			// FitAcceptanceTable pins sequential generation internally, so
-			// the table cannot depend on this host's core count or flags.
-			table, err = core.FitAcceptanceTable(req.Model, opts)
-			if err != nil {
-				return nil, err
-			}
-			e.cfg.Acceptance.SetAcceptance(req.CacheKey, table)
+		table, err := e.acceptanceTable(req, opts)
+		if err != nil {
+			return nil, err
 		}
 		return core.SampleWithTable(dp.NewRand(seed), req.Model, table, opts)
 	}
 	return core.Sample(dp.NewRand(seed), req.Model, opts)
+}
+
+// acceptanceTable returns the model's fitted acceptance table, fitting and
+// caching it on a miss. Concurrent misses for the same key are
+// single-flighted: the first caller fits (FitAcceptanceTable pins sequential
+// generation internally, so the table cannot depend on this host's core
+// count or flags), the rest block until the table lands in the cache and
+// read it from there. If the leader fails, one waiter at a time retakes the
+// flight, so a transient failure cannot wedge followers on a missing table.
+func (e *Engine) acceptanceTable(req Request, opts core.SampleOptions) ([]float64, error) {
+	for {
+		if table, ok := e.cfg.Acceptance.Acceptance(req.CacheKey); ok {
+			return table, nil
+		}
+		e.fitMu.Lock()
+		if ch, ok := e.fitting[req.CacheKey]; ok {
+			e.fitMu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		e.fitting[req.CacheKey] = ch
+		e.fitMu.Unlock()
+
+		table, err := core.FitAcceptanceTable(req.Model, opts)
+		if err == nil {
+			e.cfg.Acceptance.SetAcceptance(req.CacheKey, table)
+		}
+		e.fitMu.Lock()
+		delete(e.fitting, req.CacheKey)
+		e.fitMu.Unlock()
+		close(ch)
+		return table, err
+	}
 }
 
 // structuralModel resolves a model name to an implementation carrying the

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"agmdp/internal/core"
+)
+
+// countingCache is an AcceptanceCache that counts stores, so tests can
+// assert how many table fits actually ran.
+type countingCache struct {
+	mu     sync.Mutex
+	tables map[string][]float64
+	sets   int
+}
+
+func newCountingCache() *countingCache {
+	return &countingCache{tables: make(map[string][]float64)}
+}
+
+func (c *countingCache) Acceptance(id string) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[id]
+	return t, ok
+}
+
+func (c *countingCache) SetAcceptance(id string, table []float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[id] = table
+	c.sets++
+	return true
+}
+
+func (c *countingCache) stores() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sets
+}
+
+// TestAcceptanceTableLeaderFitsOnce covers the leader path: a cold cache
+// triggers exactly one fit and the table lands in the cache.
+func TestAcceptanceTableLeaderFitsOnce(t *testing.T) {
+	cache := newCountingCache()
+	e := New(Config{Workers: 1, Acceptance: cache})
+	defer e.Close()
+	m := fixtureModel(t)
+	req := Request{Model: m, CacheKey: "k"}
+	table, err := e.acceptanceTable(req, core.SampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || cache.stores() != 1 {
+		t.Fatalf("leader path: table %v, %d stores (want 1)", table != nil, cache.stores())
+	}
+	// A warm cache is served without another fit.
+	if _, err := e.acceptanceTable(req, core.SampleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.stores() != 1 {
+		t.Fatalf("warm hit refitted the table: %d stores", cache.stores())
+	}
+}
+
+// TestAcceptanceTableFollowersWaitForLeader pins the single-flight contract:
+// callers that find a fit in flight block until it completes and then read
+// the cached table instead of fitting their own copy.
+func TestAcceptanceTableFollowersWaitForLeader(t *testing.T) {
+	cache := newCountingCache()
+	e := New(Config{Workers: 1, Acceptance: cache})
+	defer e.Close()
+	m := fixtureModel(t)
+	req := Request{Model: m, CacheKey: "k"}
+
+	// Pose as the in-flight leader by planting the flight channel directly.
+	ch := make(chan struct{})
+	e.fitMu.Lock()
+	e.fitting["k"] = ch
+	e.fitMu.Unlock()
+
+	const followers = 8
+	results := make(chan []float64, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			table, err := e.acceptanceTable(req, core.SampleOptions{})
+			if err != nil {
+				t.Error(err)
+			}
+			results <- table
+		}()
+	}
+	// No follower may return (or fit) while the flight is open.
+	select {
+	case <-results:
+		t.Fatal("a follower returned while the leader was still fitting")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if cache.stores() != 0 {
+		t.Fatalf("a follower fitted its own table: %d stores", cache.stores())
+	}
+
+	// The "leader" publishes the table and closes the flight; every
+	// follower must drain with the published table and zero extra fits.
+	want, err := core.FitAcceptanceTable(m, core.SampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetAcceptance("k", want)
+	e.fitMu.Lock()
+	delete(e.fitting, "k")
+	e.fitMu.Unlock()
+	close(ch)
+
+	for i := 0; i < followers; i++ {
+		select {
+		case table := <-results:
+			if len(table) != len(want) {
+				t.Fatalf("follower table has %d entries, want %d", len(table), len(want))
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("follower did not drain after the flight closed")
+		}
+	}
+	if cache.stores() != 1 {
+		t.Fatalf("%d stores after drain, want only the leader's", cache.stores())
+	}
+}

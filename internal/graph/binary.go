@@ -268,6 +268,10 @@ func validateCSR(n int, offsets []int64, neighbors []int32) error {
 		return fmt.Errorf("offsets end at %d, want %d (= 2m)", offsets[n], len(neighbors))
 	}
 	row := func(u int) []int32 { return neighbors[offsets[u]:offsets[u+1]] }
+	// While validating the rows, count the two edge orientations: symmetric
+	// adjacency needs exactly as many forward entries (v > u) as reverse
+	// entries (v < u).
+	var forward, reverse int64
 	for u := 0; u < n; u++ {
 		prev := int32(-1)
 		for _, v := range row(u) {
@@ -280,17 +284,48 @@ func validateCSR(n int, offsets []int64, neighbors []int32) error {
 			if int(v) == u {
 				return fmt.Errorf("self loop at node %d", u)
 			}
+			if int(v) > u {
+				forward++
+			} else {
+				reverse++
+			}
 			prev = v
 		}
 	}
-	// Every directed entry must have its reverse — checking only one
-	// orientation would let an asymmetric snapshot through whenever its
-	// stray entries all point the unchecked way.
+	return validateSymmetry(n, offsets, neighbors, forward, reverse)
+}
+
+// validateSymmetry verifies that every directed entry has its reverse, in
+// O(n + m) with a counting argument instead of a per-edge binary search
+// (O(m log d)). Rows are already known sorted, so the forward entries (u, v)
+// with v > u arrive with strictly increasing u; a per-row cursor therefore
+// sweeps each reverse row once while matching them. The cursor pass proves
+// every forward entry has a distinct reverse partner; the orientation counts
+// being equal then proves no stray reverse entry is left unmatched — without
+// the count, an asymmetric snapshot whose stray entries all point backward
+// (say a lone {3→2} with no {2→3}) would slip through the sweep untouched.
+func validateSymmetry(n int, offsets []int64, neighbors []int32, forward, reverse int64) error {
+	if forward != reverse {
+		return fmt.Errorf("asymmetric adjacency: %d forward entries vs %d reverse entries", forward, reverse)
+	}
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
 	for u := 0; u < n; u++ {
-		for _, v := range row(u) {
-			if !containsSorted(row(int(v)), int32(u)) {
+		rowU := neighbors[offsets[u]:offsets[u+1]]
+		for _, v := range rowU {
+			if int(v) < u {
+				continue // reverse entries are consumed by the cursors below
+			}
+			// Require u in row v: skip v's reverse entries below u (each is
+			// passed at most once across the whole pass), then match.
+			c, end := cursor[v], offsets[int(v)+1]
+			for c < end && neighbors[c] < int32(u) {
+				c++
+			}
+			if c >= end || neighbors[c] != int32(u) {
 				return fmt.Errorf("asymmetric adjacency: edge {%d,%d} missing its reverse entry", u, v)
 			}
+			cursor[v] = c + 1
 		}
 	}
 	return nil

@@ -188,6 +188,14 @@ func (g *Graph) NeighborsView(i int) []int32 {
 	return g.row(i)
 }
 
+// RowOffsets returns the CSR row-offset array as a view into the graph's
+// shared storage: row i occupies neighbors[RowOffsets()[i]:RowOffsets()[i+1]].
+// The array is an inclusive prefix sum over node degrees — exactly the shape
+// parallel.SplitWeighted consumes — so callers outside this package can shard
+// per-node work by degree weight without rebuilding the prefix sum. The slice
+// is valid for the lifetime of the graph and MUST NOT be modified.
+func (g *Graph) RowOffsets() []int64 { return g.offsets }
+
 // ForEachNeighbor calls fn for every neighbour of node i in ascending order.
 // Iteration stops early if fn returns false.
 func (g *Graph) ForEachNeighbor(i int, fn func(j int) bool) {

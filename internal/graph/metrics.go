@@ -12,7 +12,14 @@ func (g *Graph) Degrees() []int {
 // order, i.e. the unordered degree sequence S used by the paper's structural
 // models.
 func (g *Graph) DegreeSequence() []int {
-	out := g.Degrees()
+	return g.DegreeSequenceWith(0)
+}
+
+// DegreeSequenceWith is DegreeSequence with an explicit worker count for the
+// degree-extraction pass (≤ 0 selects the process default); the sort stays
+// sequential. Results are identical for every worker count.
+func (g *Graph) DegreeSequenceWith(workers int) []int {
+	out := g.DegreesWith(workers)
 	sort.Ints(out)
 	return out
 }

@@ -1,0 +1,197 @@
+package jobs
+
+// Fit jobs: the asynchronous counterpart of the service's synchronous fit.
+// A fit job runs the full (optionally differentially private) fitting
+// pipeline in the background — sharded onto the shared worker pool at the
+// spec's parallelism — registers the fitted model in the model store, and
+// concurrently pre-fits the model's acceptance table so the first sample of
+// the new model pays no refinement cost. The job's terminal Info carries the
+// fitted model's content-addressed ID.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"agmdp/internal/core"
+	"agmdp/internal/dp"
+	"agmdp/internal/graph"
+	"agmdp/internal/structural"
+)
+
+// FitSpec describes one asynchronous model fit.
+type FitSpec struct {
+	// Graph is the input graph to fit. Required. Graphs are immutable, so
+	// the manager shares the caller's instance.
+	Graph *graph.Graph
+	// GraphID optionally records the graph store ID the input came from; it
+	// is echoed in the job's Info for listings.
+	GraphID string
+	// Epsilon is the total privacy budget; 0 fits the exact (non-private)
+	// baseline parameters.
+	Epsilon float64
+	// TruncationK is the edge-truncation parameter for Θ̃F; zero selects the
+	// paper's heuristic k = n^{1/3}.
+	TruncationK int
+	// ModelKind names the structural model ("tricycle", "fcl", "tcl"); empty
+	// selects TriCycLe.
+	ModelKind string
+	// Seed seeds the private fit's noise draws; fits with equal seeds and
+	// inputs are bit-identical regardless of Parallelism.
+	Seed int64
+	// Parallelism is the worker count for the fit pipeline's measurement
+	// passes (≤ 0 = auto, 1 = sequential). It affects wall-clock only, never
+	// the fitted model.
+	Parallelism int
+	// WarmAcceptance additionally fits the model's acceptance table
+	// (concurrently with registering the model) and caches it in the model
+	// store, so the first default-shaped sample skips the refinement rounds.
+	WarmAcceptance bool
+}
+
+// SubmitFit accepts a fit job and starts it in the background, returning its
+// ID. The manager must have been constructed with a ModelStore.
+func (m *Manager) SubmitFit(spec FitSpec) (string, error) {
+	if spec.Graph == nil {
+		return "", errors.New("jobs: nil graph in fit spec")
+	}
+	if m.opts.Models == nil {
+		return "", errors.New("jobs: fit job submitted but the manager has no model store")
+	}
+	if spec.Epsilon < 0 {
+		return "", fmt.Errorf("jobs: negative epsilon %v (use 0 for a non-private baseline fit)", spec.Epsilon)
+	}
+	if _, err := structural.ByName(spec.ModelKind, 0); err != nil {
+		return "", err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		fit:    spec,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	m.seq++
+	m.persistSeqLocked()
+	id := fmt.Sprintf("job-%06d", m.seq)
+	j.info = Info{
+		ID:        id,
+		Kind:      KindFit,
+		GraphID:   spec.GraphID,
+		Status:    StatusQueued,
+		Count:     1,
+		CreatedAt: m.opts.Clock(),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.runFit(ctx, j)
+	return id, nil
+}
+
+// runFit executes one fit job end to end. The fit itself is not
+// interruptible (exactly like the synchronous handler); cancellation is
+// honoured before it starts and suppresses registration after it ends.
+func (m *Manager) runFit(ctx context.Context, j *job) {
+	defer m.wg.Done()
+	defer j.cancel()
+
+	j.mu.Lock()
+	j.info.Status = StatusRunning
+	j.info.StartedAt = m.opts.Clock()
+	spec := j.fit
+	j.mu.Unlock()
+
+	result, failed := m.fitOnce(ctx, spec)
+	m.finish(j, func(info *Info) {
+		switch {
+		case ctx.Err() != nil:
+			info.Status = StatusCancelled
+			// Cancellation that lands after the model was already
+			// registered must not orphan it: keep the result in the
+			// cancelled record so the model ID stays discoverable.
+			if result != nil && result.ModelID != "" {
+				info.Fit = result
+				info.ModelID = result.ModelID
+			}
+		case failed:
+			info.Status = StatusFailed
+			info.Failed = 1
+			info.Fit = result
+		default:
+			info.Status = StatusDone
+			info.Completed = 1
+			info.Fit = result
+			info.ModelID = result.ModelID
+		}
+	})
+}
+
+// fitOnce runs the fit pipeline and registers the result, reporting the
+// outcome and whether it failed. A cancelled context yields (nil, true) —
+// the caller maps that to StatusCancelled — and never registers the model.
+func (m *Manager) fitOnce(ctx context.Context, spec FitSpec) (*FitResult, bool) {
+	if ctx.Err() != nil {
+		return nil, true
+	}
+	model, err := structural.ByName(spec.ModelKind, spec.Parallelism)
+	if err != nil {
+		return &FitResult{Error: err.Error()}, true
+	}
+
+	// FitModel is the same entry point the synchronous handler uses, so the
+	// async path cannot drift from it.
+	fitted, err := core.FitModel(dp.NewRand(spec.Seed), spec.Graph, core.Config{
+		Epsilon:     spec.Epsilon,
+		TruncationK: spec.TruncationK,
+		Model:       model,
+		Parallelism: spec.Parallelism,
+	})
+	if err != nil {
+		return &FitResult{Error: err.Error()}, true
+	}
+	if ctx.Err() != nil {
+		// Cancelled mid-fit: drop the result rather than registering a model
+		// the client asked to abandon. (A cancellation that slips in during
+		// registration below is handled by the caller, which keeps the
+		// registered ID in the cancelled record.)
+		return nil, true
+	}
+
+	// Concurrent acceptance-table fitting: the table is a pure function of
+	// the model parameters, so it can be fitted while the model is being
+	// serialized and persisted by the store, halving the tail latency of a
+	// warmed fit. Table failures only lose the warm-up, never the fit.
+	var table []float64
+	tablec := make(chan struct{})
+	if spec.WarmAcceptance {
+		go func() {
+			defer close(tablec)
+			table, _ = core.FitAcceptanceTable(fitted, core.SampleOptions{})
+		}()
+	} else {
+		close(tablec)
+	}
+	id, err := m.opts.Models.Put(fitted)
+	<-tablec
+	if err != nil {
+		return &FitResult{Error: fmt.Sprintf("storing fitted model: %v", err)}, true
+	}
+	if table != nil {
+		m.opts.Models.SetAcceptance(id, table)
+	}
+	return &FitResult{
+		ModelID:   id,
+		ModelName: fitted.ModelName,
+		Epsilon:   fitted.Epsilon,
+	}, false
+}

@@ -1,29 +1,42 @@
-// Package jobs provides an asynchronous batch-sampling job manager layered
-// on the synthesis engine.
+// Package jobs provides a typed asynchronous job manager for the synthesis
+// service. Two job kinds share one lifecycle, listing and retention surface:
 //
-// The synchronous /sample endpoint holds an HTTP connection open for the
-// whole draw, which caps a batch at whatever a client (and its proxies) will
-// tolerate as one request. A job instead is submitted once, returns an ID
-// immediately, and runs its samples through the engine in the background;
-// clients poll for queued/running/done progress and per-sample results, and
-// can cancel mid-flight. Sampled graphs are summarised in the result list
-// and — when requested — stored into the graph store, so a large batch never
-// travels inline through the job API at all.
+//   - sample jobs draw a batch of synthetic graphs from a fitted model
+//     through the engine (the original job type), and
+//   - fit jobs run a full (optionally differentially private) model fit and
+//     register the result in a model store, so huge fits return a job ID
+//     instead of holding an HTTP connection open for minutes.
 //
-// Determinism: a job with an explicit base seed s draws sample i with seed
-// s+i, so a batch is exactly as reproducible as the equivalent sequence of
-// synchronous requests. Unseeded jobs draw per-sample seeds from the
-// engine's worker streams and report them in the results.
+// The synchronous endpoints hold a connection open for the whole operation,
+// which caps the work at whatever a client (and its proxies) will tolerate as
+// one request. A job instead is submitted once, returns an ID immediately,
+// and runs in the background; clients poll for queued/running/done progress
+// and results, and can cancel mid-flight. Sampled graphs are summarised in
+// the result list and — when requested — stored into the graph store; fitted
+// models land in the model store and the job reports their content-addressed
+// ID (with the model's acceptance table pre-fitted concurrently, so the
+// first sample pays no refinement cost).
+//
+// Determinism: a sample job with an explicit base seed s draws sample i with
+// seed s+i, so a batch is exactly as reproducible as the equivalent sequence
+// of synchronous requests; unseeded jobs draw per-sample seeds from the
+// engine's worker streams and report them in the results. A fit job with
+// seed s produces the same model as the synchronous fit at seed s — the fit
+// pipeline is bit-identical for every parallelism.
 //
 // Finished jobs are retained (bounded, oldest evicted first) so clients can
-// fetch results after completion; cancellation and retention both drop a
-// job's results, never its running work's correctness.
+// fetch results after completion; with Options.Dir set, finished-job
+// metadata is additionally persisted as JSON and reloaded on construction,
+// so clients can pick up results across service restarts. Cancellation and
+// retention both drop a job's results, never its running work's correctness.
 package jobs
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -34,6 +47,16 @@ import (
 
 // ErrClosed is returned by Submit after Close has been called.
 var ErrClosed = errors.New("jobs: manager closed")
+
+// Kind discriminates the job types the manager runs.
+type Kind string
+
+const (
+	// KindSample draws a batch of synthetic graphs from a fitted model.
+	KindSample Kind = "sample"
+	// KindFit fits a model from a graph and registers it in the model store.
+	KindFit Kind = "fit"
+)
 
 // Status is a job's lifecycle state.
 type Status string
@@ -90,18 +113,46 @@ type SampleResult struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// Info is a point-in-time snapshot of one job.
+// FitResult is the outcome of a fit job.
+type FitResult struct {
+	// ModelID is the content-addressed registry ID of the fitted model.
+	ModelID string `json:"model_id,omitempty"`
+	// ModelName is the structural model the parameters were fitted for.
+	ModelName string `json:"model_name,omitempty"`
+	// Epsilon echoes the privacy budget spent (0 = non-private baseline).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Error carries the failure message of a failed fit.
+	Error string `json:"error,omitempty"`
+}
+
+// Info is a point-in-time snapshot of one job. For sample jobs ModelID is
+// the input model being sampled; for fit jobs the fitted model's ID arrives
+// in Fit.ModelID (and is mirrored into ModelID on success, so listings show
+// the interesting ID for either kind).
 type Info struct {
-	ID         string    `json:"id"`
-	ModelID    string    `json:"model_id,omitempty"`
-	Status     Status    `json:"status"`
-	Count      int       `json:"count"`
-	Completed  int       `json:"completed"`
-	Failed     int       `json:"failed"`
-	Stored     int       `json:"stored,omitempty"`
-	CreatedAt  time.Time `json:"created_at"`
-	StartedAt  time.Time `json:"started_at,omitzero"`
-	FinishedAt time.Time `json:"finished_at,omitzero"`
+	ID         string     `json:"id"`
+	Kind       Kind       `json:"kind"`
+	ModelID    string     `json:"model_id,omitempty"`
+	GraphID    string     `json:"graph_id,omitempty"`
+	Status     Status     `json:"status"`
+	Count      int        `json:"count"`
+	Completed  int        `json:"completed"`
+	Failed     int        `json:"failed"`
+	Stored     int        `json:"stored,omitempty"`
+	Fit        *FitResult `json:"fit,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  time.Time  `json:"started_at,omitzero"`
+	FinishedAt time.Time  `json:"finished_at,omitzero"`
+}
+
+// ModelStore receives the models produced by fit jobs and caches their
+// acceptance tables. registry.Registry implements it.
+type ModelStore interface {
+	// Put stores a fitted model and returns its content-addressed ID.
+	Put(m *core.FittedModel) (string, error)
+	// SetAcceptance caches a model's fitted acceptance table, reporting
+	// whether the model is resident.
+	SetAcceptance(id string, table []float64) bool
 }
 
 // Options configures a Manager.
@@ -111,6 +162,16 @@ type Options struct {
 	// Store receives sampled graphs for jobs with Spec.Store set. Jobs with
 	// Store set are rejected when nil.
 	Store *graphstore.Store
+	// Models receives the models produced by fit jobs. Fit jobs are rejected
+	// when nil.
+	Models ModelStore
+	// Dir, when non-empty, persists finished-job metadata (Info plus sample
+	// results) as Dir/<id>.json and reloads it on New, so job results survive
+	// service restarts. Running jobs are never persisted; a job killed
+	// mid-run simply has no record after a restart unless its shutdown
+	// cancellation completed (Close cancels running jobs, and cancelled jobs
+	// persist like any finished job).
+	Dir string
 	// Retain bounds how many finished jobs are kept for result pickup;
 	// beyond it the oldest finished job is dropped. Values below 1 select 64.
 	Retain int
@@ -125,18 +186,19 @@ type Options struct {
 	Clock func() time.Time
 }
 
-// job is the manager-internal state of one submitted job.
+// job is the manager-internal state of one submitted (or reloaded) job.
 type job struct {
 	mu      sync.Mutex
 	info    Info
 	results []SampleResult
 	spec    Spec
+	fit     FitSpec
 	cancel  context.CancelFunc
 	done    chan struct{}
 }
 
-// Manager runs batch sampling jobs. Construct with New; the zero value is
-// not usable.
+// Manager runs asynchronous sample and fit jobs. Construct with New; the
+// zero value is not usable.
 type Manager struct {
 	opts Options
 
@@ -146,10 +208,14 @@ type Manager struct {
 	finished []string // completion order, for bounded retention
 	seq      int
 	closed   bool
+	warnings []string
 	wg       sync.WaitGroup
 }
 
-// New builds a manager over an engine (and, optionally, a graph store).
+// New builds a manager over an engine (and, optionally, a graph store and a
+// model store). With Options.Dir set, previously persisted finished jobs are
+// reloaded so their results remain fetchable; files that cannot be read or
+// decoded are skipped and reported via Warnings.
 func New(opts Options) (*Manager, error) {
 	if opts.Engine == nil {
 		return nil, errors.New("jobs: nil engine")
@@ -163,7 +229,25 @@ func New(opts Options) (*Manager, error) {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
-	return &Manager{opts: opts, jobs: make(map[string]*job)}, nil
+	m := &Manager{opts: opts, jobs: make(map[string]*job)}
+	if opts.Dir != "" {
+		if err := m.loadDir(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Warnings reports persisted-job files skipped on load and persistence
+// failures encountered at job completion. Operators should surface these: a
+// skipped or unwritten file is a job whose results will not survive a
+// restart.
+func (m *Manager) Warnings() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.warnings))
+	copy(out, m.warnings)
+	return out
 }
 
 // Submit accepts a job and starts it in the background, returning its ID.
@@ -199,9 +283,11 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		return "", ErrClosed
 	}
 	m.seq++
+	m.persistSeqLocked()
 	id := fmt.Sprintf("job-%06d", m.seq)
 	j.info = Info{
 		ID:        id,
+		Kind:      KindSample,
 		ModelID:   spec.ModelID,
 		Status:    StatusQueued,
 		Count:     spec.Count,
@@ -251,29 +337,84 @@ feed:
 	close(indices)
 	workers.Wait()
 
+	m.finish(j, func(info *Info) {
+		switch {
+		case ctx.Err() != nil:
+			info.Status = StatusCancelled
+		case info.Failed == count:
+			info.Status = StatusFailed
+		default:
+			info.Status = StatusDone
+		}
+	})
+}
+
+// finish moves a job into its terminal state (chosen by decide), persists
+// the finished record when a directory is configured, signals waiters, and
+// applies the retention bound.
+func (m *Manager) finish(j *job, decide func(info *Info)) {
 	j.mu.Lock()
-	switch {
-	case ctx.Err() != nil:
-		j.info.Status = StatusCancelled
-	case j.info.Failed == count:
-		j.info.Status = StatusFailed
-	default:
-		j.info.Status = StatusDone
-	}
+	decide(&j.info)
 	j.info.FinishedAt = m.opts.Clock()
+	rec := persistedJob{Info: j.info, Results: append([]SampleResult(nil), j.results...)}
 	id := j.info.ID
 	j.mu.Unlock()
 	close(j.done)
 
+	// Stage the record to a temp file before taking the manager lock: the
+	// expensive disk I/O must not stall every jobs API call behind m.mu on
+	// slow storage. Only the final rename happens under the lock.
+	var tmpPath string
+	var perr error
+	if m.opts.Dir != "" {
+		tmpPath, perr = m.stageRecord(rec)
+	}
+
 	m.mu.Lock()
-	// The job may already have been removed by a cancel-and-delete.
+	// The job may already have been removed by a cancel-and-delete; in that
+	// case nothing is committed either (the staged temp file is discarded
+	// below), so a deleted job cannot resurrect from disk after a restart.
+	// Committing under the manager lock keeps the rename ordered against
+	// concurrent removals.
 	if _, ok := m.jobs[id]; ok {
+		if tmpPath != "" {
+			perr = m.commitRecord(tmpPath, id)
+			tmpPath = ""
+		}
+		if perr != nil {
+			// Completion is asynchronous — no caller can receive this
+			// error, and Warnings() is typically read only at startup — so
+			// log it too: an unwritten record is a job whose results
+			// silently will not survive a restart.
+			log.Printf("jobs: persisting finished job %s: %v", id, perr)
+			m.addWarningLocked(fmt.Sprintf("%s: %v", id, perr))
+		}
 		m.finished = append(m.finished, id)
 		for len(m.finished) > m.opts.Retain {
 			m.removeLocked(m.finished[0])
 		}
 	}
 	m.mu.Unlock()
+	if tmpPath != "" {
+		os.Remove(tmpPath) // job deleted while staging; drop the orphan
+	}
+}
+
+// maxWarnings bounds the retained warning strings: a persistently failing
+// disk would otherwise grow the slice by one entry per finished job for the
+// life of the process.
+const maxWarnings = 100
+
+// addWarningLocked appends a warning, suppressing beyond the bound (with one
+// marker entry so the truncation is visible). Callers hold m.mu.
+func (m *Manager) addWarningLocked(s string) {
+	if len(m.warnings) < maxWarnings {
+		m.warnings = append(m.warnings, s)
+		return
+	}
+	if len(m.warnings) == maxWarnings {
+		m.warnings = append(m.warnings, "further warnings suppressed (see logs)")
+	}
 }
 
 // runSample draws sample i of a job and records its result.
@@ -383,9 +524,11 @@ func (m *Manager) Cancel(id string) bool {
 	return true
 }
 
-// removeLocked drops a job from every index. Callers hold m.mu.
+// removeLocked drops a job from every index (and its persisted record, when
+// persistence is enabled). Callers hold m.mu.
 func (m *Manager) removeLocked(id string) {
 	delete(m.jobs, id)
+	m.removePersisted(id)
 	for i, v := range m.order {
 		if v == id {
 			m.order = append(m.order[:i], m.order[i+1:]...)

@@ -1,0 +1,165 @@
+package jobs
+
+// Finished-job persistence. Job results used to be in-memory only and died
+// with the process; with Options.Dir configured, every job that reaches a
+// terminal status is written as Dir/<id>.json (atomically: temp file, then
+// rename) and reloaded on New, so a client that submitted a long batch or an
+// overnight fit can still resolve GET /v1/jobs/{id} after a service restart.
+// Only finished jobs persist — a running job's record would go stale the
+// moment it was written; shutdown cancels running jobs, and the resulting
+// cancelled records persist like any other terminal state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// persistedJob is the on-disk form of one finished job.
+type persistedJob struct {
+	Info    Info           `json:"info"`
+	Results []SampleResult `json:"results,omitempty"`
+}
+
+// seqFile records the high-water job sequence number, so IDs issued to jobs
+// that never reached a terminal record (killed mid-run by a crash, not a
+// graceful shutdown) are still never reissued after a restart.
+const seqFile = "seq"
+
+// stageRecord writes a finished-job record to a temporary file in the job
+// directory and returns its path. The expensive I/O (MkdirAll, create,
+// write) happens here, without any manager lock held; committing the record
+// is then a single rename (commitRecord).
+func (m *Manager) stageRecord(rec persistedJob) (string, error) {
+	if err := os.MkdirAll(m.opts.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("jobs: creating job directory: %w", err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return "", fmt.Errorf("jobs: encoding job record: %w", err)
+	}
+	tmp, err := os.CreateTemp(m.opts.Dir, rec.Info.ID+".tmp*")
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	return tmp.Name(), nil
+}
+
+// commitRecord atomically publishes a staged record under its final name.
+func (m *Manager) commitRecord(tmpPath, id string) error {
+	if err := os.Rename(tmpPath, filepath.Join(m.opts.Dir, id+".json")); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return nil
+}
+
+// persistSeqLocked best-effort records the current sequence high-water mark.
+// Called with m.mu held on every ID allocation; the write is a tiny
+// single-file overwrite, and a failure only costs crash protection for ID
+// reuse (graceful shutdowns still persist terminal records), so it is not
+// worth failing a submission over.
+func (m *Manager) persistSeqLocked() {
+	if m.opts.Dir == "" {
+		return
+	}
+	os.WriteFile(filepath.Join(m.opts.Dir, seqFile), []byte(strconv.Itoa(m.seq)), 0o644)
+}
+
+// removePersisted deletes a job's on-disk record, if any.
+func (m *Manager) removePersisted(id string) {
+	if m.opts.Dir != "" {
+		os.Remove(filepath.Join(m.opts.Dir, id+".json"))
+	}
+}
+
+// loadDir restores persisted finished jobs, ordered by creation time so
+// listings and the retention bound match the original submission order.
+// Files that cannot be read or decoded, records whose ID does not match
+// their file name, and records in a non-terminal state are skipped (and
+// reported via Warnings) rather than failing the open. The ID sequence
+// resumes past the highest restored job number, so new submissions never
+// collide with reloaded IDs.
+func (m *Manager) loadDir() error {
+	if err := os.MkdirAll(m.opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("jobs: creating job directory: %w", err)
+	}
+	glob, err := filepath.Glob(filepath.Join(m.opts.Dir, "*.json"))
+	if err != nil {
+		return fmt.Errorf("jobs: scanning job directory: %w", err)
+	}
+	recs := make([]persistedJob, 0, len(glob))
+	for _, path := range glob {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			m.addWarningLocked(fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		var rec persistedJob
+		if err := json.Unmarshal(data, &rec); err != nil {
+			m.addWarningLocked(fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		if want := strings.TrimSuffix(filepath.Base(path), ".json"); want != rec.Info.ID {
+			m.addWarningLocked(fmt.Sprintf("%s: record is for job %q, not the name it was stored under", path, rec.Info.ID))
+			continue
+		}
+		if !rec.Info.Status.Finished() {
+			m.addWarningLocked(fmt.Sprintf("%s: non-terminal status %q", path, rec.Info.Status))
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Info.CreatedAt.Equal(recs[j].Info.CreatedAt) {
+			return recs[i].Info.CreatedAt.Before(recs[j].Info.CreatedAt)
+		}
+		return recs[i].Info.ID < recs[j].Info.ID
+	})
+	for _, rec := range recs {
+		// Reloaded jobs are terminal: their done channel is already closed
+		// and cancellation is a no-op.
+		done := make(chan struct{})
+		close(done)
+		j := &job{
+			info:    rec.Info,
+			results: rec.Results,
+			cancel:  func() {},
+			done:    done,
+		}
+		m.jobs[rec.Info.ID] = j
+		m.order = append(m.order, rec.Info.ID)
+		m.finished = append(m.finished, rec.Info.ID)
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.Info.ID, "job-")); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	// The sequence resumes past the high-water mark, not just the highest
+	// restored record: an ID issued to a job that crashed mid-run has no
+	// terminal record, and reusing it would hand a polling client some
+	// other client's job.
+	if data, err := os.ReadFile(filepath.Join(m.opts.Dir, seqFile)); err == nil {
+		if n, err := strconv.Atoi(strings.TrimSpace(string(data))); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	// The retention bound holds for reloaded state too, on disk as well as
+	// in memory.
+	for len(m.finished) > m.opts.Retain {
+		m.removeLocked(m.finished[0])
+	}
+	return nil
+}

@@ -46,10 +46,17 @@ type Config struct {
 	// manager over Engine and Graphs is created (and owned by the server:
 	// Close shuts it down).
 	Jobs *jobs.Manager
-	// FitTimeout bounds POST /fit requests (default 5 minutes). Fitting runs
-	// in the request goroutine; the deadline rejects queued work, it cannot
-	// interrupt a fit already in progress.
+	// FitTimeout bounds synchronous POST /fit requests (default 5 minutes).
+	// Fitting runs in the request goroutine; the deadline rejects queued
+	// work, it cannot interrupt a fit already in progress. Asynchronous fits
+	// (async:true, or jobs of kind "fit") are not bounded by it.
 	FitTimeout time.Duration
+	// FitParallelism is the default worker count for the fit pipeline's
+	// measurement passes when a fit request carries no positive parallelism
+	// of its own: 0 means the process auto default, 1 forces sequential
+	// fitting. Fitted models are bit-identical for every value; the knob
+	// trades fit latency against concurrent request throughput.
+	FitParallelism int
 	// SampleTimeout bounds POST /sample requests and each individual sample
 	// of a job (default 1 minute); jobs whose context expires while queued
 	// are abandoned by the engine.
@@ -117,6 +124,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.Jobs, err = jobs.New(jobs.Options{
 			Engine:        cfg.Engine,
 			Store:         cfg.Graphs,
+			Models:        cfg.Registry,
 			SampleTimeout: cfg.SampleTimeout,
 		})
 		if err != nil {
@@ -337,10 +345,14 @@ type datasetSpec struct {
 	Seed  int64   `json:"seed,omitempty"`
 }
 
-// fitRequest is the POST /fit body. Exactly one of Graph, GraphID or Dataset
-// must be set. Epsilon 0 requests a non-private (baseline) fit. Parallelism
-// selects the structural model's stream count for acceptance-table fitting
-// (0 = auto, 1 = sequential for cross-machine reproducibility).
+// fitRequest is the POST /fit body (and, nested, the "fit" member of a
+// kind:"fit" job submission). Exactly one of Graph, GraphID or Dataset must
+// be set. Epsilon 0 requests a non-private (baseline) fit. Parallelism is
+// the worker count for the fit pipeline's measurement passes and the
+// structural model's stream count (0 = server default, 1 = sequential); the
+// fitted model is bit-identical for every value. Async detaches the fit into
+// a job of kind "fit": the response is 202 with a job snapshot instead of
+// the fitted model, and the model ID arrives in the finished job's result.
 type fitRequest struct {
 	Graph       *graphPayload `json:"graph,omitempty"`
 	GraphID     string        `json:"graph_id,omitempty"`
@@ -350,12 +362,128 @@ type fitRequest struct {
 	TruncationK int           `json:"truncation_k,omitempty"`
 	Seed        int64         `json:"seed,omitempty"`
 	Parallelism int           `json:"parallelism,omitempty"`
+	Async       bool          `json:"async,omitempty"`
 }
 
 // fitResponse is the POST /fit body on success.
 type fitResponse struct {
 	ID   string        `json:"id"`
 	Info registry.Info `json:"info"`
+}
+
+// validateFitRequest checks the request fields shared by the synchronous,
+// asynchronous and job-submission fit paths, writing the error response
+// itself and reporting whether the request may proceed.
+func (s *Server) validateFitRequest(w http.ResponseWriter, req *fitRequest) bool {
+	inputs := 0
+	for _, set := range []bool{req.Graph != nil, req.GraphID != "", req.Dataset != nil} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of graph, graph_id or dataset must be set")
+		return false
+	}
+	if req.Epsilon < 0 {
+		writeError(w, http.StatusBadRequest, "negative epsilon %v (use 0 for a non-private baseline fit)", req.Epsilon)
+		return false
+	}
+	if req.Parallelism < 0 {
+		writeError(w, http.StatusBadRequest, "negative parallelism %d", req.Parallelism)
+		return false
+	}
+	if _, err := structural.ByName(req.Model, 0); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return false
+	}
+	return true
+}
+
+// resolveFitInput materialises the fit input — inline payload, stored graph,
+// or server-side dataset — enforcing the configured limits. It writes the
+// error response itself; the graph is nil when the request cannot proceed.
+func (s *Server) resolveFitInput(w http.ResponseWriter, req *fitRequest) *graph.Graph {
+	switch {
+	case req.Graph != nil:
+		if req.Graph.N > s.cfg.MaxFitNodes {
+			writeError(w, http.StatusBadRequest, "graph has %d nodes, limit is %d", req.Graph.N, s.cfg.MaxFitNodes)
+			return nil
+		}
+		if req.Graph.W > s.cfg.MaxFitAttributes {
+			writeError(w, http.StatusBadRequest, "graph has %d attributes, limit is %d", req.Graph.W, s.cfg.MaxFitAttributes)
+			return nil
+		}
+		g, err := req.Graph.toGraph()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid graph: %v", err)
+			return nil
+		}
+		return g
+	case req.GraphID != "":
+		g, ok := s.cfg.Graphs.Get(req.GraphID)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no graph %q", req.GraphID)
+			return nil
+		}
+		if err := s.checkGraphLimits(g); err != nil {
+			writeError(w, http.StatusBadRequest, "stored %v", err)
+			return nil
+		}
+		return g
+	default:
+		p, err := datasets.ByName(req.Dataset.Name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		scale := req.Dataset.Scale
+		if scale <= 0 {
+			scale = p.DefaultScale
+		}
+		if err := datasets.CheckScale(scale); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		if scaled := p.Scaled(scale); scaled.Nodes > s.cfg.MaxFitNodes {
+			writeError(w, http.StatusBadRequest, "dataset at scale %v has %d nodes, limit is %d", scale, scaled.Nodes, s.cfg.MaxFitNodes)
+			return nil
+		}
+		return datasets.Generate(dp.NewRand(req.Dataset.Seed), p.Scaled(scale))
+	}
+}
+
+// fitParallelism resolves a request's parallelism against the server default
+// (Config.FitParallelism): a positive request value wins, otherwise the
+// configured default (which may itself be 0 = process auto).
+func (s *Server) fitParallelism(req *fitRequest) int {
+	if req.Parallelism > 0 {
+		return req.Parallelism
+	}
+	return s.cfg.FitParallelism
+}
+
+// submitFitJob detaches a validated fit request into a job of kind "fit" and
+// answers 202 with the job snapshot.
+func (s *Server) submitFitJob(w http.ResponseWriter, req *fitRequest, g *graph.Graph) {
+	id, err := s.cfg.Jobs.SubmitFit(jobs.FitSpec{
+		Graph:       g,
+		GraphID:     req.GraphID,
+		Epsilon:     req.Epsilon,
+		TruncationK: req.TruncationK,
+		ModelKind:   req.Model,
+		Seed:        req.Seed,
+		Parallelism: s.fitParallelism(req),
+		// Pre-fit the acceptance table while the model is registered, so the
+		// first sample of the finished fit pays no refinement cost.
+		WarmAcceptance: true,
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "submitting fit job: %v", err)
+		return
+	}
+	info, _, _ := s.cfg.Jobs.Get(id)
+	writeJSON(w, http.StatusAccepted, jobResponse{Info: info})
 }
 
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
@@ -367,95 +495,42 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding fit request: %v", err)
 		return
 	}
-	inputs := 0
-	for _, set := range []bool{req.Graph != nil, req.GraphID != "", req.Dataset != nil} {
-		if set {
-			inputs++
-		}
-	}
-	if inputs != 1 {
-		writeError(w, http.StatusBadRequest, "exactly one of graph, graph_id or dataset must be set")
+	if !s.validateFitRequest(w, &req) {
 		return
 	}
-	if req.Epsilon < 0 {
-		writeError(w, http.StatusBadRequest, "negative epsilon %v (use 0 for a non-private baseline fit)", req.Epsilon)
+	g := s.resolveFitInput(w, &req)
+	if g == nil {
 		return
 	}
-	if req.Parallelism < 0 {
-		writeError(w, http.StatusBadRequest, "negative parallelism %d", req.Parallelism)
+	if req.Async {
+		// Asynchronous fits run under the job manager, not the request
+		// deadline: returning a job ID instead of holding the connection is
+		// the whole point for fits that take minutes.
+		s.submitFitJob(w, &req, g)
 		return
-	}
-	model, err := structural.ByName(req.Model, req.Parallelism)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	var g *graph.Graph
-	switch {
-	case req.Graph != nil:
-		if req.Graph.N > s.cfg.MaxFitNodes {
-			writeError(w, http.StatusBadRequest, "graph has %d nodes, limit is %d", req.Graph.N, s.cfg.MaxFitNodes)
-			return
-		}
-		if req.Graph.W > s.cfg.MaxFitAttributes {
-			writeError(w, http.StatusBadRequest, "graph has %d attributes, limit is %d", req.Graph.W, s.cfg.MaxFitAttributes)
-			return
-		}
-		g, err = req.Graph.toGraph()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "invalid graph: %v", err)
-			return
-		}
-	case req.GraphID != "":
-		var ok bool
-		g, ok = s.cfg.Graphs.Get(req.GraphID)
-		if !ok {
-			writeError(w, http.StatusNotFound, "no graph %q", req.GraphID)
-			return
-		}
-		if err := s.checkGraphLimits(g); err != nil {
-			writeError(w, http.StatusBadRequest, "stored %v", err)
-			return
-		}
-	default:
-		p, err := datasets.ByName(req.Dataset.Name)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		scale := req.Dataset.Scale
-		if scale <= 0 {
-			scale = p.DefaultScale
-		}
-		if err := datasets.CheckScale(scale); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		if scaled := p.Scaled(scale); scaled.Nodes > s.cfg.MaxFitNodes {
-			writeError(w, http.StatusBadRequest, "dataset at scale %v has %d nodes, limit is %d", scale, scaled.Nodes, s.cfg.MaxFitNodes)
-			return
-		}
-		g = datasets.Generate(dp.NewRand(req.Dataset.Seed), p.Scaled(scale))
 	}
 	if err := ctx.Err(); err != nil {
 		writeError(w, http.StatusRequestTimeout, "fit deadline exceeded before fitting started")
 		return
 	}
 
-	var fitted *core.FittedModel
-	if req.Epsilon > 0 {
-		fitted, err = core.FitDP(dp.NewRand(req.Seed), g, core.Config{
-			Epsilon:     req.Epsilon,
-			TruncationK: req.TruncationK,
-			Model:       model,
-		})
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "fit failed: %v", err)
-			return
-		}
-	} else {
-		fitted = core.Fit(g, model)
+	par := s.fitParallelism(&req)
+	model, err := structural.ByName(req.Model, par)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The same entry point the async fit jobs use, so the two paths cannot
+	// drift: an async fit registers exactly this model.
+	fitted, err := core.FitModel(dp.NewRand(req.Seed), g, core.Config{
+		Epsilon:     req.Epsilon,
+		TruncationK: req.TruncationK,
+		Model:       model,
+		Parallelism: par,
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "fit failed: %v", err)
+		return
 	}
 
 	id, err := s.cfg.Registry.Put(fitted)

@@ -153,18 +153,26 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// jobRequest is the POST /v1/jobs body: draw Count samples from the stored
-// model, optionally storing each sampled graph back into the graph store.
-// With a non-zero Seed, sample i runs with seed Seed+i, so the batch is as
-// reproducible as the equivalent synchronous requests.
+// jobRequest is the POST /v1/jobs body. Kind selects the job type:
+//
+//   - "sample" (or empty, the default): draw Count samples from the stored
+//     model named by ModelID, optionally storing each sampled graph back
+//     into the graph store. With a non-zero Seed, sample i runs with seed
+//     Seed+i, so the batch is as reproducible as the equivalent synchronous
+//     requests.
+//   - "fit": run the fit described by the nested Fit request (the same body
+//     POST /v1/fit takes, minus async) in the background and register the
+//     resulting model; the sampling fields above are rejected.
 type jobRequest struct {
-	ModelID     string `json:"model_id"`
-	Count       int    `json:"count,omitempty"`
-	Seed        int64  `json:"seed,omitempty"`
-	Iterations  int    `json:"iterations,omitempty"`
-	Model       string `json:"model,omitempty"`
-	Parallelism int    `json:"parallelism,omitempty"`
-	Store       bool   `json:"store,omitempty"`
+	Kind        string      `json:"kind,omitempty"`
+	ModelID     string      `json:"model_id,omitempty"`
+	Count       int         `json:"count,omitempty"`
+	Seed        int64       `json:"seed,omitempty"`
+	Iterations  int         `json:"iterations,omitempty"`
+	Model       string      `json:"model,omitempty"`
+	Parallelism int         `json:"parallelism,omitempty"`
+	Store       bool        `json:"store,omitempty"`
+	Fit         *fitRequest `json:"fit,omitempty"`
 }
 
 // jobResponse is the body of the job endpoints: the job snapshot, plus the
@@ -183,6 +191,39 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
+		return
+	}
+	switch req.Kind {
+	case "", string(jobs.KindSample):
+		if req.Fit != nil {
+			writeError(w, http.StatusBadRequest, "a fit body requires kind %q", jobs.KindFit)
+			return
+		}
+	case string(jobs.KindFit):
+		if req.ModelID != "" || req.Count != 0 || req.Seed != 0 || req.Iterations != 0 ||
+			req.Model != "" || req.Parallelism != 0 || req.Store {
+			writeError(w, http.StatusBadRequest, "kind %q takes its parameters in the fit body", jobs.KindFit)
+			return
+		}
+		if req.Fit == nil {
+			writeError(w, http.StatusBadRequest, "kind %q requires a fit body", jobs.KindFit)
+			return
+		}
+		if req.Fit.Async {
+			writeError(w, http.StatusBadRequest, "a job submission is already asynchronous; drop the async field")
+			return
+		}
+		if !s.validateFitRequest(w, req.Fit) {
+			return
+		}
+		g := s.resolveFitInput(w, req.Fit)
+		if g == nil {
+			return
+		}
+		s.submitFitJob(w, req.Fit, g)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "unknown job kind %q (want %q or %q)", req.Kind, jobs.KindSample, jobs.KindFit)
 		return
 	}
 	count := req.Count

@@ -32,7 +32,7 @@ func newV1TestServer(t *testing.T) (*httptest.Server, *graphstore.Store) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr, err := jobs.New(jobs.Options{Engine: eng, Store: store, SampleTimeout: 30 * time.Second})
+	mgr, err := jobs.New(jobs.Options{Engine: eng, Store: store, Models: reg, SampleTimeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

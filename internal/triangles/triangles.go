@@ -160,12 +160,22 @@ type LadderOptions struct {
 // is then drawn uniformly inside the rung. Negative candidates are clamped to
 // zero after sampling (post-processing).
 func LadderCount(rng *rand.Rand, g *graph.Graph, epsilon float64, opts LadderOptions) int64 {
+	return LadderCountWith(rng, g, epsilon, opts, 0)
+}
+
+// LadderCountWith is LadderCount with an explicit worker count (≤ 0 selects
+// the process default) for the two exact measurements the mechanism centres
+// on — the triangle count and the maximum common-neighbour count. Both are
+// bit-identical for every worker count and the mechanism's random draws stay
+// sequential on rng, so the released estimate depends only on (graph,
+// epsilon, opts, rng state).
+func LadderCountWith(rng *rand.Rand, g *graph.Graph, epsilon float64, opts LadderOptions, workers int) int64 {
 	if epsilon <= 0 {
 		panic(fmt.Sprintf("triangles: non-positive epsilon %v", epsilon))
 	}
 	n := g.NumNodes()
-	trueCount := float64(g.Triangles())
-	maxCN := MaxCommonNeighbors(g)
+	trueCount := float64(g.TrianglesWith(workers))
+	maxCN := MaxCommonNeighborsWith(g, workers)
 
 	maxRungs := opts.MaxRungs
 	if maxRungs <= 0 {
@@ -251,4 +261,10 @@ func NaiveLaplaceCount(rng *rand.Rand, g *graph.Graph, epsilon float64) int64 {
 // with automatic rung selection.
 func PrivateCount(rng *rand.Rand, g *graph.Graph, epsilon float64) int64 {
 	return LadderCount(rng, g, epsilon, LadderOptions{})
+}
+
+// PrivateCountWith is PrivateCount with an explicit worker count for the
+// exact measurements; see LadderCountWith.
+func PrivateCountWith(rng *rand.Rand, g *graph.Graph, epsilon float64, workers int) int64 {
+	return LadderCountWith(rng, g, epsilon, LadderOptions{}, workers)
 }

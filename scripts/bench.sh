@@ -4,7 +4,7 @@
 #
 #   scripts/bench.sh [output.json]
 #
-# The default output is BENCH_pr4.json in the repository root; the PR number
+# The default output is BENCH_pr5.json in the repository root; the PR number
 # is parsed from the file name. Each entry holds the benchmark name,
 # iteration count, ns/op and (when reported) B/op and allocs/op; the
 # "speedups" section reports every before/after ratio whose benchmark pair is
@@ -14,19 +14,27 @@
 #   PR 3 pairs — parallel (shared worker pool) vs sequential analytics and
 #                TriCycLe rewiring
 #   PR 4 pairs — binary CSR snapshot codec vs the line-oriented text format
+#   PR 5 pairs — linear counting-based snapshot symmetry check vs the
+#                per-edge binary-search baseline
 #
 # BENCH_PKGS overrides the benchmarked packages (the root package holds the
 # much slower paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
+# BENCH_SHORT=1 selects a short benchtime (for CI trend runs, where relative
+# movement matters more than low variance).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/}"
+benchtime="1s"
+if [ "${BENCH_SHORT:-0}" != "0" ]; then
+  benchtime="100ms"
+fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test $pkgs -run '^$' -bench . -benchmem -benchtime 1x >/dev/null # warm the build cache
-go test $pkgs -run '^$' -bench . -benchmem | tee "$raw"
+go test $pkgs -run '^$' -bench . -benchmem -benchtime "$benchtime" | tee "$raw"
 
 python3 - "$raw" "$out" <<'PY'
 import json
@@ -83,6 +91,10 @@ pairs = {
     # PR 4: binary CSR snapshot codec vs the text format (118k-edge fixture).
     "read_binary_vs_text": ("BenchmarkReadGraphText", "BenchmarkReadGraphBinary"),
     "write_binary_vs_text": ("BenchmarkWriteGraphText", "BenchmarkWriteGraphBinary"),
+    # PR 5: the decoder's counting-based linear symmetry check vs the
+    # per-edge binary-search baseline it replaced.
+    "validate_symmetry_linear_vs_bsearch": (
+        "BenchmarkValidateSymmetryBSearch", "BenchmarkValidateSymmetryLinear"),
 }
 speedups = {}
 for key, (base, new) in pairs.items():

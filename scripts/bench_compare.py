@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against the latest committed baseline.
+
+Usage: scripts/bench_compare.py CURRENT.json [BASELINE.json]
+
+With no explicit baseline, the highest-numbered BENCH_pr*.json in the
+repository root is used. Prints a markdown-ish table of ns/op for every
+benchmark present in both files, with the ratio current/baseline. This is a
+report-only trend signal for CI logs — benchmark noise on shared runners
+makes a hard gate flaky, so no threshold fails the build here.
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"].split("-")[0]: b for b in doc.get("benchmarks", [])}, doc
+
+
+def latest_baseline(root):
+    best, best_n = None, -1
+    for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+        m = re.search(r"pr(\d+)", os.path.basename(path))
+        if m and int(m.group(1)) > best_n:
+            best, best_n = path, int(m.group(1))
+    return best
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__.strip())
+    current_path = sys.argv[1]
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else latest_baseline(root)
+    if baseline_path is None:
+        sys.exit("no BENCH_pr*.json baseline found")
+
+    current, cur_doc = load(current_path)
+    baseline, base_doc = load(baseline_path)
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        sys.exit(f"no common benchmarks between {current_path} and {baseline_path}")
+
+    print(f"bench trend: {os.path.basename(current_path)} "
+          f"({cur_doc.get('host_cpus', '?')} cpus) vs "
+          f"{os.path.basename(baseline_path)} "
+          f"({base_doc.get('host_cpus', '?')} cpus)")
+    print()
+    name_w = max(len(n) for n in common)
+    print(f"{'benchmark':<{name_w}}  {'baseline ns/op':>15}  {'current ns/op':>14}  {'ratio':>6}")
+    regressions = 0
+    for name in common:
+        b = baseline[name]["ns_per_op"]
+        c = current[name]["ns_per_op"]
+        ratio = c / b if b else float("inf")
+        flag = ""
+        if ratio >= 1.25:
+            flag = "  <-- slower"
+            regressions += 1
+        elif ratio <= 0.8:
+            flag = "  (faster)"
+        print(f"{name:<{name_w}}  {b:>15.0f}  {c:>14.0f}  {ratio:>6.2f}{flag}")
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        print()
+        print("new benchmarks (no baseline): " + ", ".join(only_current))
+    print()
+    print(f"{regressions} benchmark(s) >=1.25x slower than baseline "
+          "(report-only; shared-runner noise makes a hard gate flaky)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Coverage gate for CI: runs the internal packages with -coverprofile,
+# prints the per-function summary tail, and fails if total statement
+# coverage drops below the floor recorded in scripts/coverage_floor.txt.
+# (The floor is intentionally a little below the current total — raise it
+# when coverage rises, so the gate ratchets instead of flapping.) Usage:
+#
+#   scripts/check_coverage.sh [profile-out]
+#
+# The default profile path is coverage.out in the repository root; CI
+# uploads it as an artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+profile="${1:-coverage.out}"
+floor="$(tr -d '[:space:]' < scripts/coverage_floor.txt)"
+
+go test -count=1 -coverprofile="$profile" ./internal/...
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+
+awk -v total="$total" -v floor="$floor" 'BEGIN {
+    if (total + 0 < floor + 0) {
+        printf "coverage %.1f%% fell below the recorded floor %.1f%%\n", total, floor > "/dev/stderr"
+        exit 1
+    }
+}'
