@@ -9,7 +9,7 @@
 //	agmdp-serve [-addr :8080] [-store DIR] [-graph-store DIR] [-jobs-dir DIR]
 //	            [-workers N] [-queue N] [-parallelism N] [-seed 1]
 //	            [-max-models N] [-max-graphs N] [-jobs-retain N]
-//	            [-max-job-samples N]
+//	            [-max-job-samples N] [-log-format text|json] [-pprof]
 //
 // The service speaks the versioned, resource-oriented /v1 API (see
 // docs/api.md for the full reference):
@@ -25,7 +25,14 @@
 //	DELETE /v1/jobs/{id}     cancel (or drop) a job
 //	GET    /v1/models[/{id}] list models / metadata (?full=1 for the serialized model)
 //	DELETE /v1/models/{id}   evict a model
-//	GET    /v1/healthz       service health, resource counts and engine load
+//	GET    /v1/healthz       service health, uptime, resource counts and load
+//	GET    /metrics          Prometheus text exposition of all service metrics
+//	GET    /v1/stats         the same metrics as JSON, with latency quantiles
+//
+// Every response carries an X-Request-Id header (propagated from the request
+// when present) and every request is logged as one structured line via
+// log/slog in the -log-format of choice. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/.
 //
 // Finished-job metadata persists to -jobs-dir (defaulting to a jobs/
 // directory inside -graph-store when one is configured), so job results —
@@ -45,7 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -101,6 +108,8 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		maxGraphs     = fs.Int("max-graphs", 0, "max resident graphs, oldest evicted first (0 = unbounded)")
 		jobsRetain    = fs.Int("jobs-retain", 0, "finished sampling jobs kept for result pickup (0 = default 64)")
 		maxJobSamples = fs.Int("max-job-samples", 0, "max samples per job (0 = default 1024)")
+		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
+		pprofFlag     = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator-facing listeners only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -110,19 +119,33 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		return usageError("")
 	}
 
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return usageError(fmt.Sprintf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+	logger := slog.New(logHandler)
+	// The default logger backs the per-request lines and the package-level
+	// error paths (stream aborts, job-persistence failures).
+	slog.SetDefault(logger)
+
 	reg, err := registry.Open(registry.Options{Dir: *store, MaxModels: *maxModels})
 	if err != nil {
 		return err
 	}
 	for _, warning := range reg.LoadWarnings() {
-		log.Printf("agmdp-serve: skipped store file: %s", warning)
+		logger.Warn("skipped store file", "warning", warning)
 	}
 	graphs, err := graphstore.Open(graphstore.Options{Dir: *graphStore, MaxGraphs: *maxGraphs})
 	if err != nil {
 		return err
 	}
 	for _, warning := range graphs.LoadWarnings() {
-		log.Printf("agmdp-serve: skipped graph snapshot: %s", warning)
+		logger.Warn("skipped graph snapshot", "warning", warning)
 	}
 	eng := engine.New(engine.Config{
 		Workers:     *workers,
@@ -156,7 +179,7 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		return err
 	}
 	for _, warning := range jobMgr.Warnings() {
-		log.Printf("agmdp-serve: skipped job record: %s", warning)
+		logger.Warn("skipped job record", "warning", warning)
 	}
 	// Deferred after eng.Close, so running jobs are cancelled and drained
 	// before the engine shuts down.
@@ -169,6 +192,8 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		Jobs:           jobMgr,
 		MaxJobSamples:  *maxJobSamples,
 		FitParallelism: *parallelism,
+		Logger:         logger,
+		Pprof:          *pprofFlag,
 	})
 	if err != nil {
 		return err
@@ -208,7 +233,7 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	case <-ctx.Done():
 	}
 
-	log.Println("agmdp-serve: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

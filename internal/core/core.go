@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"agmdp/internal/attrs"
 	"agmdp/internal/degrees"
@@ -97,6 +98,19 @@ type Config struct {
 	// noise draws stay sequential on the caller's rng, so a fitted model
 	// depends only on (graph, Config, rng seed) — never on Parallelism.
 	Parallelism int
+	// Observe, when non-nil, receives the wall-clock duration of each fitting
+	// stage as it completes: "attrs" (Θ̃X), "correlations" (Θ̃F), "degrees"
+	// (S̃) and, for TriCycLe, "triangles" (ñ∆). The callback only reads the
+	// clock — it is invoked after each stage's noise draws, never between
+	// them, so attaching an observer cannot perturb the fitted model.
+	Observe func(stage string, d time.Duration)
+}
+
+// observeStage reports one completed stage to cb, if an observer is attached.
+func observeStage(cb func(string, time.Duration), stage string, start time.Time) {
+	if cb != nil {
+		cb(stage, time.Since(start))
+	}
 }
 
 // normalizedModel returns the configured structural model, defaulting to
@@ -123,21 +137,38 @@ func Fit(g *graph.Graph, model structural.Model) *FittedModel {
 // bit-identical for all worker counts, so the fitted model depends only on
 // the input graph and the model choice.
 func FitWith(g *graph.Graph, model structural.Model, parallelism int) *FittedModel {
+	return fitWithObserved(g, model, parallelism, nil)
+}
+
+// fitWithObserved is FitWith with an optional stage observer; it reports the
+// same stage names as FitDP so synchronous and private fits share one timing
+// vocabulary.
+func fitWithObserved(g *graph.Graph, model structural.Model, parallelism int, observe func(string, time.Duration)) *FittedModel {
 	if model == nil {
 		model = structural.TriCycLe{}
 	}
+	start := time.Now()
 	params := structural.Params{Degrees: g.DegreeSequenceWith(parallelism)}
+	observeStage(observe, "degrees", start)
 	switch model.(type) {
 	case structural.TriCycLe:
+		start = time.Now()
 		params.Triangles = g.TrianglesWith(parallelism)
+		observeStage(observe, "triangles", start)
 	case structural.TCL:
 		params.Rho = structural.FitRho(g, 0)
 	}
+	start = time.Now()
+	thetaX := attrs.TrueThetaXWith(g, parallelism)
+	observeStage(observe, "attrs", start)
+	start = time.Now()
+	thetaF := attrs.TrueThetaFWith(g, parallelism)
+	observeStage(observe, "correlations", start)
 	return &FittedModel{
 		N:          g.NumNodes(),
 		W:          g.NumAttributes(),
-		ThetaX:     attrs.TrueThetaXWith(g, parallelism),
-		ThetaF:     attrs.TrueThetaFWith(g, parallelism),
+		ThetaX:     thetaX,
+		ThetaF:     thetaF,
 		Structural: params,
 		ModelName:  model.Name(),
 	}
@@ -153,7 +184,7 @@ func FitModel(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) 
 	if cfg.Epsilon > 0 {
 		return FitDP(rng, g, cfg)
 	}
-	return FitWith(g, cfg.normalizedModel(), cfg.Parallelism), nil
+	return fitWithObserved(g, cfg.normalizedModel(), cfg.Parallelism, cfg.Observe), nil
 }
 
 // FitDP (lines 2–5 of Algorithm 3) learns ε-differentially private AGM
@@ -215,24 +246,32 @@ func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 	if err := charge(epsX); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	thetaX := attrs.LearnAttributesDPWith(rng, g, epsX, cfg.Parallelism)
+	observeStage(cfg.Observe, "attrs", start)
 
 	// Θ̃F — LearnCorrelationsDP (Algorithm 4, edge truncation).
 	if err := charge(epsF); err != nil {
 		return nil, err
 	}
+	start = time.Now()
 	thetaF := attrs.LearnCorrelationsDPWith(rng, g, epsF, k, cfg.Parallelism)
+	observeStage(cfg.Observe, "correlations", start)
 
 	// Θ̃M — FitTriCycLeDP (Algorithm 6) or the FCL degree sequence.
 	if err := charge(epsS); err != nil {
 		return nil, err
 	}
+	start = time.Now()
 	params := structural.Params{Degrees: degrees.PrivateSequenceWith(rng, g, epsS, cfg.Parallelism)}
+	observeStage(cfg.Observe, "degrees", start)
 	if _, ok := model.(structural.TriCycLe); ok {
 		if err := charge(epsTri); err != nil {
 			return nil, err
 		}
+		start = time.Now()
 		params.Triangles = triangles.PrivateCountWith(rng, g, epsTri, cfg.Parallelism)
+		observeStage(cfg.Observe, "triangles", start)
 	}
 
 	return &FittedModel{

@@ -22,12 +22,28 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"agmdp/internal/core"
 	"agmdp/internal/dp"
 	"agmdp/internal/graph"
+	"agmdp/internal/obs"
 	"agmdp/internal/parallel"
 	"agmdp/internal/structural"
+)
+
+// Engine metrics on the process-wide default registry. The counters and the
+// histogram are shared by every engine in the process (production runs one);
+// live queue/in-flight gauges for a specific engine are wired by the server
+// through Stats-reading gauge funcs. Instrumentation reads clocks only —
+// seeds and worker RNG streams are untouched.
+var (
+	engineSamples = obs.Default().CounterVec("agmdp_engine_samples_total",
+		"Samples drawn by the synthesis engine, by result.", "result")
+	engineSampleDur = obs.Default().Histogram("agmdp_engine_sample_duration_seconds",
+		"Wall-clock duration of one engine sample (structural generation, refinement and attribute attachment).")
+	engineTableFits = obs.Default().Counter("agmdp_engine_acceptance_table_fits_total",
+		"Acceptance-table cold-cache fits performed by the engine.")
 )
 
 // ErrClosed is returned by Sample after Close has been called.
@@ -107,6 +123,7 @@ type Stats struct {
 	QueueDepth  int   `json:"queue_depth"`
 	QueueCap    int   `json:"queue_cap"`
 	Parallelism int   `json:"parallelism"`
+	InFlight    int64 `json:"in_flight"`
 	Completed   int64 `json:"completed"`
 	Failed      int64 `json:"failed"`
 }
@@ -135,6 +152,7 @@ type Engine struct {
 	closed    bool
 	completed atomic.Int64
 	failed    atomic.Int64
+	inFlight  atomic.Int64
 
 	// fitMu/fitting single-flight the acceptance-table fits: when several
 	// workers miss the cache for the same cold model at once, one fits and
@@ -177,11 +195,17 @@ func (e *Engine) worker(index int) {
 		for seed == 0 {
 			seed = stream.Int63()
 		}
+		e.inFlight.Add(1)
+		start := time.Now()
 		g, err := e.sampleOnce(j.req, seed)
+		engineSampleDur.ObserveDuration(time.Since(start))
+		e.inFlight.Add(-1)
 		if err != nil {
 			e.failed.Add(1)
+			engineSamples.With("error").Inc()
 		} else {
 			e.completed.Add(1)
+			engineSamples.With("ok").Inc()
 		}
 		j.result <- jobResult{g: g, seed: seed, err: err}
 	}
@@ -256,6 +280,7 @@ func (e *Engine) acceptanceTable(req Request, opts core.SampleOptions) ([]float6
 		e.fitting[req.CacheKey] = ch
 		e.fitMu.Unlock()
 
+		engineTableFits.Inc()
 		table, err := core.FitAcceptanceTable(req.Model, opts)
 		if err == nil {
 			e.cfg.Acceptance.SetAcceptance(req.CacheKey, table)
@@ -327,6 +352,7 @@ func (e *Engine) Stats() Stats {
 		QueueDepth:  len(e.jobs),
 		QueueCap:    cap(e.jobs),
 		Parallelism: parallel.Resolve(e.cfg.Parallelism),
+		InFlight:    e.inFlight.Load(),
 		Completed:   e.completed.Load(),
 		Failed:      e.failed.Load(),
 	}

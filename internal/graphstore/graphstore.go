@@ -30,6 +30,18 @@ import (
 	"time"
 
 	"agmdp/internal/graph"
+	"agmdp/internal/obs"
+)
+
+// Store metrics on the process-wide default registry: lifetime stores and
+// evictions across every store in the process. Live resident-count and
+// byte-size gauges for a specific store are wired by the server through
+// Len/SizeBytes gauge funcs.
+var (
+	storePuts = obs.Default().Counter("agmdp_graphstore_puts_total",
+		"Graphs stored into a graph store (deduplicated re-puts excluded).")
+	storeEvictions = obs.Default().Counter("agmdp_graphstore_evictions_total",
+		"Graphs evicted from a graph store (explicit deletes and bound-driven evictions).")
 )
 
 // Options configures a Store.
@@ -74,6 +86,7 @@ type Store struct {
 	max     int
 	clock   func() time.Time
 	skipped []string
+	bytes   int64 // total snapshot bytes resident, maintained by insert/evict
 }
 
 // Open creates a store. If opts.Dir is non-empty the directory is created
@@ -231,6 +244,8 @@ func (s *Store) insertLocked(id string, data []byte, g *graph.Graph, created tim
 		},
 	}
 	s.order = append(s.order, id)
+	s.bytes += int64(len(data))
+	storePuts.Inc()
 }
 
 // LoadWarnings reports the store files Open skipped because they could not
@@ -299,6 +314,13 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
+// SizeBytes returns the total canonical-snapshot bytes resident in memory.
+func (s *Store) SizeBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
 // Evict removes a graph from the store (and from disk, when persistence is
 // enabled) and reports whether it was present.
 func (s *Store) Evict(id string) bool {
@@ -313,6 +335,10 @@ func (s *Store) Evict(id string) bool {
 
 // evictLocked removes one entry. Callers hold s.mu.
 func (s *Store) evictLocked(id string) {
+	if e, ok := s.entries[id]; ok {
+		s.bytes -= int64(len(e.data))
+		storeEvictions.Inc()
+	}
 	delete(s.entries, id)
 	for i, v := range s.order {
 		if v == id {

@@ -12,10 +12,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"agmdp/internal/core"
 	"agmdp/internal/dp"
 	"agmdp/internal/graph"
+	"agmdp/internal/obs"
 	"agmdp/internal/structural"
 )
 
@@ -68,6 +70,7 @@ func (m *Manager) SubmitFit(spec FitSpec) (string, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		fit:    spec,
+		stages: obs.NewStageTimer(),
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}
@@ -111,7 +114,7 @@ func (m *Manager) runFit(ctx context.Context, j *job) {
 	spec := j.fit
 	j.mu.Unlock()
 
-	result, failed := m.fitOnce(ctx, spec)
+	result, failed := m.fitOnce(ctx, spec, j)
 	m.finish(j, func(info *Info) {
 		switch {
 		case ctx.Err() != nil:
@@ -139,7 +142,9 @@ func (m *Manager) runFit(ctx context.Context, j *job) {
 // fitOnce runs the fit pipeline and registers the result, reporting the
 // outcome and whether it failed. A cancelled context yields (nil, true) —
 // the caller maps that to StatusCancelled — and never registers the model.
-func (m *Manager) fitOnce(ctx context.Context, spec FitSpec) (*FitResult, bool) {
+// Stage durations accumulate on j's timer: the core pipeline's stages via
+// Config.Observe, plus "table_warm" and "store" measured here.
+func (m *Manager) fitOnce(ctx context.Context, spec FitSpec, j *job) (*FitResult, bool) {
 	if ctx.Err() != nil {
 		return nil, true
 	}
@@ -155,6 +160,9 @@ func (m *Manager) fitOnce(ctx context.Context, spec FitSpec) (*FitResult, bool) 
 		TruncationK: spec.TruncationK,
 		Model:       model,
 		Parallelism: spec.Parallelism,
+		Observe: func(stage string, d time.Duration) {
+			recordStage(j, KindFit, stage, d)
+		},
 	})
 	if err != nil {
 		return &FitResult{Error: err.Error()}, true
@@ -176,12 +184,16 @@ func (m *Manager) fitOnce(ctx context.Context, spec FitSpec) (*FitResult, bool) 
 	if spec.WarmAcceptance {
 		go func() {
 			defer close(tablec)
+			start := time.Now()
 			table, _ = core.FitAcceptanceTable(fitted, core.SampleOptions{})
+			recordStage(j, KindFit, "table_warm", time.Since(start))
 		}()
 	} else {
 		close(tablec)
 	}
+	start := time.Now()
 	id, err := m.opts.Models.Put(fitted)
+	recordStage(j, KindFit, "store", time.Since(start))
 	<-tablec
 	if err != nil {
 		return &FitResult{Error: fmt.Sprintf("storing fitted model: %v", err)}, true

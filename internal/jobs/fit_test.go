@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"agmdp/internal/engine"
 	"agmdp/internal/graph"
 	"agmdp/internal/graphstore"
+	"agmdp/internal/obs"
 	"agmdp/internal/registry"
 )
 
@@ -165,11 +167,17 @@ func TestFinishedJobsPersistAcrossManagers(t *testing.T) {
 	}
 	fitInfo := wait(t, m1, fitID)
 	sampleInfo := wait(t, m1, sampleID)
+	if len(fitInfo.Stages) == 0 {
+		t.Fatalf("finished fit job has no stage timings: %+v", fitInfo)
+	}
+	if len(sampleInfo.Stages) == 0 {
+		t.Fatalf("finished sample job has no stage timings: %+v", sampleInfo)
+	}
 	_, wantResults, _ := m1.Get(sampleID)
 	m1.Close()
 
 	// A fresh manager over the same directory resolves both jobs with
-	// identical metadata and results.
+	// identical metadata, results and stage timings.
 	m2, _ := newFitManager(t, dir)
 	gotFit, _, ok := m2.Get(fitID)
 	if !ok {
@@ -178,12 +186,18 @@ func TestFinishedJobsPersistAcrossManagers(t *testing.T) {
 	if gotFit.Status != fitInfo.Status || gotFit.Kind != KindFit || gotFit.Fit == nil || gotFit.Fit.ModelID != fitInfo.Fit.ModelID {
 		t.Fatalf("restored fit job %+v, want %+v", gotFit, fitInfo)
 	}
+	if !reflect.DeepEqual(gotFit.Stages, fitInfo.Stages) {
+		t.Fatalf("fit stages changed across restart: %+v vs %+v", gotFit.Stages, fitInfo.Stages)
+	}
 	gotSample, gotResults, ok := m2.Get(sampleID)
 	if !ok {
 		t.Fatalf("sample job %s did not survive the restart", sampleID)
 	}
 	if gotSample.Completed != sampleInfo.Completed || gotSample.Status != sampleInfo.Status {
 		t.Fatalf("restored sample job %+v, want %+v", gotSample, sampleInfo)
+	}
+	if !reflect.DeepEqual(gotSample.Stages, sampleInfo.Stages) {
+		t.Fatalf("sample stages changed across restart: %+v vs %+v", gotSample.Stages, sampleInfo.Stages)
 	}
 	if len(gotResults) != len(wantResults) {
 		t.Fatalf("restored %d results, want %d", len(gotResults), len(wantResults))
@@ -365,5 +379,56 @@ func TestShutdownCancelsAndPersistsRunningJob(t *testing.T) {
 	}
 	if info.Status == StatusDone && info.Completed != info.Count {
 		t.Fatalf("done job with %d/%d samples", info.Completed, info.Count)
+	}
+}
+
+// TestJobStageTimings pins the stage vocabulary of both job kinds: a warmed
+// private fit reports the core pipeline's stages plus the manager's own
+// table_warm and store spans, and a storing sample job reports
+// generate/analyze/store. Stage durations are wall-clock and so not asserted
+// beyond being non-negative.
+func TestJobStageTimings(t *testing.T) {
+	m, _ := newFitManager(t, "")
+	g := fixtureGraph(t)
+
+	fitID, err := m.SubmitFit(FitSpec{Graph: g, Epsilon: 1.0, Seed: 5, WarmAcceptance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitInfo := wait(t, m, fitID)
+	wantFit := []string{"attrs", "correlations", "degrees", "triangles", "store", "table_warm"}
+	assertStages(t, "fit", fitInfo.Stages, wantFit)
+
+	model := fixtureModel(t)
+	sampleID, err := m.Submit(Spec{Model: model, ModelID: "m1", Count: 2, Seed: 40, Iterations: 1, Store: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleInfo := wait(t, m, sampleID)
+	assertStages(t, "sample", sampleInfo.Stages, []string{"generate", "store", "analyze"})
+}
+
+// assertStages checks that the recorded stages carry exactly the expected
+// names (in any order — fan-out makes inter-stage order scheduling-dependent)
+// with non-negative durations.
+func assertStages(t *testing.T, kind string, stages []obs.Stage, want []string) {
+	t.Helper()
+	got := make(map[string]float64, len(stages))
+	for _, s := range stages {
+		if s.Seconds < 0 {
+			t.Errorf("%s stage %s has negative duration %v", kind, s.Name, s.Seconds)
+		}
+		if _, dup := got[s.Name]; dup {
+			t.Errorf("%s stage %s recorded twice (repeats must accumulate)", kind, s.Name)
+		}
+		got[s.Name] = s.Seconds
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s job stages = %+v, want names %v", kind, stages, want)
+	}
+	for _, name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("%s job missing stage %q (got %+v)", kind, name, stages)
+		}
 	}
 }

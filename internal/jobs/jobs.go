@@ -35,7 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -43,7 +43,17 @@ import (
 	"agmdp/internal/core"
 	"agmdp/internal/engine"
 	"agmdp/internal/graphstore"
+	"agmdp/internal/obs"
 )
+
+// jobStageDur aggregates per-stage wall times across all jobs on the
+// process-wide default registry; the per-job breakdown additionally lands in
+// each finished job's Info.Stages. Stage names: fit jobs report the core
+// pipeline's "attrs"/"correlations"/"degrees"/"triangles" plus "table_warm"
+// and "store"; sample jobs report "generate", "analyze" and "store".
+var jobStageDur = obs.Default().HistogramVec("agmdp_jobs_stage_duration_seconds",
+	"Wall-clock duration of job pipeline stages, by job kind and stage.",
+	nil, "kind", "stage")
 
 // ErrClosed is returned by Submit after Close has been called.
 var ErrClosed = errors.New("jobs: manager closed")
@@ -130,19 +140,24 @@ type FitResult struct {
 // in Fit.ModelID (and is mirrored into ModelID on success, so listings show
 // the interesting ID for either kind).
 type Info struct {
-	ID         string     `json:"id"`
-	Kind       Kind       `json:"kind"`
-	ModelID    string     `json:"model_id,omitempty"`
-	GraphID    string     `json:"graph_id,omitempty"`
-	Status     Status     `json:"status"`
-	Count      int        `json:"count"`
-	Completed  int        `json:"completed"`
-	Failed     int        `json:"failed"`
-	Stored     int        `json:"stored,omitempty"`
-	Fit        *FitResult `json:"fit,omitempty"`
-	CreatedAt  time.Time  `json:"created_at"`
-	StartedAt  time.Time  `json:"started_at,omitzero"`
-	FinishedAt time.Time  `json:"finished_at,omitzero"`
+	ID        string     `json:"id"`
+	Kind      Kind       `json:"kind"`
+	ModelID   string     `json:"model_id,omitempty"`
+	GraphID   string     `json:"graph_id,omitempty"`
+	Status    Status     `json:"status"`
+	Count     int        `json:"count"`
+	Completed int        `json:"completed"`
+	Failed    int        `json:"failed"`
+	Stored    int        `json:"stored,omitempty"`
+	Fit       *FitResult `json:"fit,omitempty"`
+	// Stages breaks the job's wall-clock time into pipeline stages
+	// (first-seen order; repeated stages accumulate). It is populated when
+	// the job reaches a terminal status and persisted with the finished
+	// record, so restarted services still report where a job's time went.
+	Stages     []obs.Stage `json:"stages,omitempty"`
+	CreatedAt  time.Time   `json:"created_at"`
+	StartedAt  time.Time   `json:"started_at,omitzero"`
+	FinishedAt time.Time   `json:"finished_at,omitzero"`
 }
 
 // ModelStore receives the models produced by fit jobs and caches their
@@ -193,8 +208,16 @@ type job struct {
 	results []SampleResult
 	spec    Spec
 	fit     FitSpec
+	stages  *obs.StageTimer // nil for jobs reloaded from disk
 	cancel  context.CancelFunc
 	done    chan struct{}
+}
+
+// recordStage accumulates one stage duration on a job's timer and on the
+// process-wide per-stage histogram.
+func recordStage(j *job, kind Kind, stage string, d time.Duration) {
+	j.stages.Add(stage, d)
+	jobStageDur.With(string(kind), stage).ObserveDuration(d)
 }
 
 // Manager runs asynchronous sample and fit jobs. Construct with New; the
@@ -272,6 +295,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		spec:   spec,
+		stages: obs.NewStageTimer(),
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}
@@ -356,10 +380,17 @@ func (m *Manager) finish(j *job, decide func(info *Info)) {
 	j.mu.Lock()
 	decide(&j.info)
 	j.info.FinishedAt = m.opts.Clock()
+	if j.stages != nil {
+		j.info.Stages = j.stages.Stages()
+	}
 	rec := persistedJob{Info: j.info, Results: append([]SampleResult(nil), j.results...)}
 	id := j.info.ID
 	j.mu.Unlock()
-	close(j.done)
+	// Waiters are signalled at the end of finish, after the persisted record
+	// is committed: a client that saw Wait return (or polled a terminal
+	// status) may restart the service immediately and must still find the
+	// job's record on disk.
+	defer close(j.done)
 
 	// Stage the record to a temp file before taking the manager lock: the
 	// expensive disk I/O must not stall every jobs API call behind m.mu on
@@ -386,7 +417,7 @@ func (m *Manager) finish(j *job, decide func(info *Info)) {
 			// error, and Warnings() is typically read only at startup — so
 			// log it too: an unwritten record is a job whose results
 			// silently will not survive a restart.
-			log.Printf("jobs: persisting finished job %s: %v", id, perr)
+			slog.Error("jobs: persisting finished job failed", "job", id, "error", perr)
 			m.addWarningLocked(fmt.Sprintf("%s: %v", id, perr))
 		}
 		m.finished = append(m.finished, id)
@@ -429,6 +460,7 @@ func (m *Manager) runSample(ctx context.Context, j *job, i int) {
 	if j.spec.Seed != 0 {
 		seed = j.spec.Seed + int64(i)
 	}
+	start := time.Now()
 	g, usedSeed, err := m.opts.Engine.SampleSeeded(sctx, engine.Request{
 		Model:       j.spec.Model,
 		Seed:        seed,
@@ -437,18 +469,23 @@ func (m *Manager) runSample(ctx context.Context, j *job, i int) {
 		Parallelism: j.spec.Parallelism,
 		CacheKey:    j.spec.ModelID,
 	})
+	recordStage(j, KindSample, "generate", time.Since(start))
 	res := SampleResult{Index: i, Seed: usedSeed}
 	var stored bool
 	if err == nil && j.spec.Store {
+		start = time.Now()
 		res.GraphID, err = m.opts.Store.Put(g)
+		recordStage(j, KindSample, "store", time.Since(start))
 		stored = err == nil
 	}
 	if err != nil {
 		res.Error = err.Error()
 	} else {
+		start = time.Now()
 		res.Nodes = g.NumNodes()
 		res.Edges = g.NumEdges()
 		res.Triangles = g.Triangles()
+		recordStage(j, KindSample, "analyze", time.Since(start))
 	}
 
 	j.mu.Lock()

@@ -1,0 +1,193 @@
+package obs
+
+// Exposition: the Prometheus text format served by GET /metrics and the JSON
+// snapshot (with computed quantiles) served by GET /v1/stats. Both walk the
+// same sorted family/child order, so the two views of one registry always
+// agree.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// writeLabels renders {k="v",...}; extra appends one more pair (used for the
+// le bucket label).
+func writeLabels(w *bufio.Writer, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `%s="%s"`, n, escapeLabelValue(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `%s="%s"`, extraName, extraValue)
+	}
+	w.WriteByte('}')
+}
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and children by
+// label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if fn, ok := f.gaugeFn.Load().(func() float64); ok && fn != nil {
+			// Function-backed gauge: evaluated at scrape time.
+			if f.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", f.name)
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(fn()))
+			continue
+		}
+		if len(children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			switch f.kind {
+			case KindCounter:
+				bw.WriteString(f.name)
+				writeLabels(bw, f.labels, c.labels, "", "")
+				fmt.Fprintf(bw, " %d\n", c.c.Value())
+			case KindGauge:
+				bw.WriteString(f.name)
+				writeLabels(bw, f.labels, c.labels, "", "")
+				fmt.Fprintf(bw, " %d\n", c.g.Value())
+			case KindHistogram:
+				cum, total := c.h.snapshotBuckets()
+				for i, bound := range c.h.bounds {
+					bw.WriteString(f.name + "_bucket")
+					writeLabels(bw, f.labels, c.labels, "le", formatValue(bound))
+					fmt.Fprintf(bw, " %d\n", cum[i])
+				}
+				bw.WriteString(f.name + "_bucket")
+				writeLabels(bw, f.labels, c.labels, "le", "+Inf")
+				fmt.Fprintf(bw, " %d\n", total)
+				bw.WriteString(f.name + "_sum")
+				writeLabels(bw, f.labels, c.labels, "", "")
+				fmt.Fprintf(bw, " %s\n", formatValue(c.h.Sum()))
+				bw.WriteString(f.name + "_count")
+				writeLabels(bw, f.labels, c.labels, "", "")
+				fmt.Fprintf(bw, " %d\n", total)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MetricSnapshot is one concrete metric in a JSON snapshot.
+type MetricSnapshot struct {
+	// Labels maps label names to values; empty for unlabeled metrics.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the current counter or gauge value.
+	Value float64 `json:"value"`
+	// Count, Sum and the quantiles are set for histograms only.
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a JSON snapshot.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Kind    Kind             `json:"kind"`
+	Help    string           `json:"help,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot returns a point-in-time JSON-friendly view of every registered
+// family, with p50/p95/p99 pre-computed for histograms. Families are sorted
+// by name, children by label values — the same order as the Prometheus text
+// exposition.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	families := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(families))
+	for _, f := range families {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind, Help: f.help}
+		if fn, ok := f.gaugeFn.Load().(func() float64); ok && fn != nil {
+			fs.Metrics = []MetricSnapshot{{Value: fn()}}
+			out = append(out, fs)
+			continue
+		}
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		for _, c := range children {
+			m := MetricSnapshot{}
+			if len(f.labels) > 0 {
+				m.Labels = make(map[string]string, len(f.labels))
+				for i, n := range f.labels {
+					m.Labels[n] = c.labels[i]
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				m.Value = float64(c.c.Value())
+			case KindGauge:
+				m.Value = float64(c.g.Value())
+			case KindHistogram:
+				m.Count = c.h.Count()
+				m.Sum = c.h.Sum()
+				m.P50 = c.h.Quantile(0.50)
+				m.P95 = c.h.Quantile(0.95)
+				m.P99 = c.h.Quantile(0.99)
+			}
+			fs.Metrics = append(fs.Metrics, m)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Idempotent registration resolves the same instance.
+	if again := r.Counter("test_total", "help"); again.Value() != 42 {
+		t.Fatalf("re-registered counter = %d, want 42", again.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	vec := r.CounterVec("v_total", "", "worker")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := vec.With("shared")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("shared").Value(); got != workers*perWorker {
+		t.Fatalf("labeled counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", 0.1, 1, 10)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("quantile of empty histogram = %v, want 0", got)
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram count/sum = %d/%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", 0.1, 1, 10)
+	h.Observe(0.5)
+	// The single observation lands in the (0.1, 1] bucket; every quantile
+	// must interpolate inside that bucket's bounds.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= 0.1 || got > 1 {
+			t.Fatalf("quantile(%v) = %v, want within (0.1, 1]", q, got)
+		}
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if math.Abs(h.Sum()-0.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.5", h.Sum())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	// Uniform 1..100 observations scaled into (0, 10]: quantile q should land
+	// near 10q.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.95, 9.5}, {0.99, 9.9}, {1, 10},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1 {
+			t.Fatalf("quantile(%v) = %v, want about %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", 0.1, 1)
+	h.Observe(50) // beyond the last finite bound
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("quantile with only +Inf observations = %v, want last bound 1", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "")
+	h.ObserveDuration(250 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if math.Abs(h.Sum()-0.25) > 1e-6 {
+		t.Fatalf("sum = %v, want 0.25", h.Sum())
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format end to end: help and
+// type comments, label escaping, histogram buckets with cumulative counts,
+// sum and count lines, and name-sorted family order.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "a counter").Add(3)
+	r.CounterVec("c_total", "labeled", "route", "code").With(`/v1/"x"`, "200").Add(2)
+	r.Gauge("a_depth", "a gauge").Set(5)
+	h := r.Histogram("d_seconds", "a histogram", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_depth a gauge
+# TYPE a_depth gauge
+a_depth 5
+# HELP b_total a counter
+# TYPE b_total counter
+b_total 3
+# HELP c_total labeled
+# TYPE c_total counter
+c_total{route="/v1/\"x\"",code="200"} 2
+# HELP d_seconds a histogram
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.1"} 1
+d_seconds_bucket{le="1"} 2
+d_seconds_bucket{le="+Inf"} 3
+d_seconds_sum 7.55
+d_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.GaugeFunc("live", "scrape-time gauge", func() float64 { return v })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live 3\n") {
+		t.Fatalf("exposition missing gauge func value:\n%s", sb.String())
+	}
+	// Last registration wins: a rebuilt server re-points the gauge.
+	r.GaugeFunc("live", "scrape-time gauge", func() float64 { return 9 })
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live 9\n") {
+		t.Fatalf("exposition missing replaced gauge func value:\n%s", sb.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests").Inc()
+	r.GaugeVec("depth", "", "pool").With("shared").Set(4)
+	h := r.Histogram("lat_seconds", "", 1, 2, 4)
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d families, want 3", len(snap))
+	}
+	// Name-sorted: depth, lat_seconds, reqs_total.
+	if snap[0].Name != "depth" || snap[1].Name != "lat_seconds" || snap[2].Name != "reqs_total" {
+		t.Fatalf("family order = %s, %s, %s", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if got := snap[0].Metrics[0].Labels["pool"]; got != "shared" {
+		t.Fatalf("gauge label = %q, want shared", got)
+	}
+	if snap[0].Metrics[0].Value != 4 {
+		t.Fatalf("gauge value = %v, want 4", snap[0].Metrics[0].Value)
+	}
+	hm := snap[1].Metrics[0]
+	if hm.Count != 100 {
+		t.Fatalf("histogram count = %d, want 100", hm.Count)
+	}
+	for _, q := range []float64{hm.P50, hm.P95, hm.P99} {
+		if q <= 1 || q > 2 {
+			t.Fatalf("quantile %v outside the observed bucket (1, 2]", q)
+		}
+	}
+	if snap[2].Metrics[0].Value != 1 {
+		t.Fatalf("counter value = %v, want 1", snap[2].Metrics[0].Value)
+	}
+}
+
+func TestLabelKey(t *testing.T) {
+	// Distinct label vectors must map to distinct keys even when values
+	// concatenate identically.
+	a := labelKey([]string{"ab", "c"})
+	b := labelKey([]string{"a", "bc"})
+	if a == b {
+		t.Fatalf("labelKey collision: %q vs %q", a, b)
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() must return the process-wide instance")
+	}
+}

@@ -40,7 +40,41 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"agmdp/internal/obs"
 )
+
+// Pool metrics, registered on the process-wide default registry. The
+// per-task cost is two clock reads and three atomic adds — tasks are
+// shard-sized (a worker's slice of an analytics or generation pass), so the
+// instrumentation is noise next to the work it measures, and it reads no
+// entropy, so task results are untouched.
+var (
+	poolTasks = obs.Default().Counter("agmdp_pool_tasks_total",
+		"Tasks executed by the shared worker pool (including helping-wait inline runs).")
+	poolTaskDur = obs.Default().Histogram("agmdp_pool_task_duration_seconds",
+		"Wall-clock duration of shared-pool tasks.")
+	poolInFlight = obs.Default().Gauge("agmdp_pool_inflight_tasks",
+		"Shared-pool tasks currently executing.")
+)
+
+func init() {
+	obs.Default().GaugeFunc("agmdp_pool_queue_depth",
+		"Tasks queued on the shared worker pool, not yet claimed.",
+		func() float64 {
+			shared.mu.Lock()
+			defer shared.mu.Unlock()
+			return float64(len(shared.queue))
+		})
+	obs.Default().GaugeFunc("agmdp_pool_workers",
+		"Resident shared-pool workers (0 until first use).",
+		func() float64 {
+			shared.mu.Lock()
+			defer shared.mu.Unlock()
+			return float64(shared.workers)
+		})
+}
 
 // defaultParallelism holds the process default worker count; 0 selects
 // runtime.GOMAXPROCS(0) at resolution time.
@@ -94,6 +128,7 @@ type pool struct {
 	cond    *sync.Cond
 	queue   []*task
 	started bool
+	workers int
 }
 
 var shared = func() *pool {
@@ -108,7 +143,8 @@ func (p *pool) startLocked() {
 		return
 	}
 	p.started = true
-	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+	p.workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < p.workers; i++ {
 		go p.worker()
 	}
 }
@@ -132,9 +168,41 @@ func (p *pool) worker() {
 	}
 }
 
+// Stats is a point-in-time snapshot of the shared pool, for /healthz.
+type Stats struct {
+	// Workers is the resident worker count (0 until the pool's first use).
+	Workers int `json:"workers"`
+	// QueueDepth is the number of queued, unclaimed tasks.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is the number of tasks currently executing.
+	InFlight int64 `json:"in_flight"`
+	// TasksCompleted is the lifetime number of executed tasks.
+	TasksCompleted int64 `json:"tasks_completed"`
+}
+
+// PoolStats snapshots the shared pool's load.
+func PoolStats() Stats {
+	shared.mu.Lock()
+	workers, depth := shared.workers, len(shared.queue)
+	shared.mu.Unlock()
+	return Stats{
+		Workers:        workers,
+		QueueDepth:     depth,
+		InFlight:       poolInFlight.Value(),
+		TasksCompleted: poolTasks.Value(),
+	}
+}
+
 // run executes one task, capturing a panic for re-raising in Group.Wait, and
 // marks it finished.
 func (t *task) run() {
+	start := time.Now()
+	poolInFlight.Inc()
+	defer func() {
+		poolInFlight.Dec()
+		poolTaskDur.ObserveDuration(time.Since(start))
+		poolTasks.Inc()
+	}()
 	defer t.finish()
 	defer func() {
 		if r := recover(); r != nil {

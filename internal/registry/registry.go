@@ -29,6 +29,18 @@ import (
 	"time"
 
 	"agmdp/internal/core"
+	"agmdp/internal/obs"
+)
+
+// Registry metrics on the process-wide default registry: lifetime stores and
+// evictions across every model registry in the process. Live resident-count
+// and byte-size gauges for a specific registry are wired by the server
+// through Len/SizeBytes gauge funcs.
+var (
+	registryPuts = obs.Default().Counter("agmdp_registry_puts_total",
+		"Models stored into a registry (deduplicated re-puts excluded).")
+	registryEvictions = obs.Default().Counter("agmdp_registry_evictions_total",
+		"Models evicted from a registry (explicit deletes and bound-driven evictions).")
 )
 
 // Options configures a Registry.
@@ -76,6 +88,7 @@ type Registry struct {
 	max     int
 	clock   func() time.Time
 	skipped []string
+	bytes   int64 // total serialized bytes resident, maintained by insert/evict
 }
 
 // Open creates a registry. If opts.Dir is non-empty the directory is created
@@ -243,6 +256,8 @@ func (r *Registry) insertLocked(id string, data []byte, m *core.FittedModel, cre
 		},
 	}
 	r.order = append(r.order, id)
+	r.bytes += int64(len(data))
+	registryPuts.Inc()
 }
 
 // Get returns a freshly decoded copy of the model with the given ID. The
@@ -353,6 +368,14 @@ func (r *Registry) Len() int {
 	return len(r.entries)
 }
 
+// SizeBytes returns the total canonical serialized bytes resident in memory
+// (model bytes only; cached acceptance tables are not counted).
+func (r *Registry) SizeBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.bytes
+}
+
 // Evict removes a model from the registry (and from disk, when persistence is
 // enabled) and reports whether it was present.
 func (r *Registry) Evict(id string) bool {
@@ -367,6 +390,10 @@ func (r *Registry) Evict(id string) bool {
 
 // evictLocked removes one entry. Callers hold r.mu.
 func (r *Registry) evictLocked(id string) {
+	if e, ok := r.entries[id]; ok {
+		r.bytes -= int64(len(e.data))
+		registryEvictions.Inc()
+	}
 	delete(r.entries, id)
 	for i, v := range r.order {
 		if v == id {

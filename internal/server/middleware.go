@@ -1,0 +1,118 @@
+package server
+
+// Request instrumentation: every request through Handler() is wrapped in one
+// middleware that assigns (or propagates) a request ID, records per-route
+// count and latency metrics, and emits one structured log line. The
+// instrumentation reads only the clock — request handling, and in particular
+// the sampling and fitting RNG streams, is untouched, so instrumented and
+// bare servers produce byte-identical graphs and models.
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"agmdp/internal/obs"
+)
+
+// requestIDHeader is the header the middleware reads an incoming request ID
+// from and always sets on the response, so clients and proxies can correlate
+// log lines across hops.
+const requestIDHeader = "X-Request-Id"
+
+// statusRecorder captures the status code and body bytes a handler wrote.
+// Unwrap keeps http.ResponseController passthrough (flush, deadlines)
+// working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// routePattern resolves the mux pattern a request will be served by (for
+// example "POST /v1/sample"), without serving it. Using the pattern rather
+// than the raw URL keeps the metric label space bounded: every /v1/jobs/{id}
+// hit shares one label value no matter the ID.
+func (s *Server) routePattern(r *http.Request) string {
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		return pattern
+	}
+	return "unmatched"
+}
+
+// instrument wraps the mux with the request-instrumentation middleware.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		route := s.routePattern(r)
+		rec := &statusRecorder{ResponseWriter: w}
+
+		// Metrics and the log line are recorded in a deferred recover so that
+		// aborted handlers (panic(http.ErrAbortHandler) on mid-stream write
+		// failures) still count; the panic is re-raised for net/http to
+		// terminate the connection as usual.
+		defer func() {
+			p := recover()
+			status := rec.status
+			if status == 0 {
+				if p != nil {
+					status = http.StatusInternalServerError
+				} else {
+					status = http.StatusOK
+				}
+			}
+			s.recordRequest(r, route, id, status, rec.bytes, time.Since(start), p != nil)
+			if p != nil {
+				panic(p)
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// recordRequest updates the per-route metrics and writes the request's one
+// structured log line.
+func (s *Server) recordRequest(r *http.Request, route, id string, status int, bytes int64, d time.Duration, aborted bool) {
+	s.httpRequests.With(route, r.Method, strconv.Itoa(status)).Inc()
+	s.httpDur.With(route).ObserveDuration(d)
+
+	level := slog.LevelInfo
+	if aborted || status >= http.StatusInternalServerError {
+		level = slog.LevelError
+	}
+	s.logger.LogAttrs(r.Context(), level, "request",
+		slog.String("request_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("route", route),
+		slog.Int("status", status),
+		slog.Int64("bytes", bytes),
+		slog.Duration("duration", d),
+		slog.Bool("aborted", aborted),
+	)
+}

@@ -19,7 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -31,6 +31,8 @@ import (
 	"agmdp/internal/graph"
 	"agmdp/internal/graphstore"
 	"agmdp/internal/jobs"
+	"agmdp/internal/obs"
+	"agmdp/internal/parallel"
 	"agmdp/internal/registry"
 	"agmdp/internal/structural"
 )
@@ -76,6 +78,18 @@ type Config struct {
 	MaxFitAttributes int
 	// MaxJobSamples caps the per-job sample count (default 1024).
 	MaxJobSamples int
+	// Metrics backs GET /metrics and GET /v1/stats and receives the server's
+	// per-route request metrics; nil selects the process-wide default
+	// registry, which the engine, pool, jobs and store layers also register
+	// into, so one scrape covers the whole service.
+	Metrics *obs.Registry
+	// Logger receives one structured line per request; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. The
+	// profiling handlers expose stack traces and timings — enable them on
+	// operator-facing listeners only.
+	Pprof bool
 }
 
 // Server handles the synthesis-service HTTP API.
@@ -83,6 +97,12 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	ownsJobs bool
+	start    time.Time
+	logger   *slog.Logger
+
+	// Per-route request metrics, registered on cfg.Metrics at construction.
+	httpRequests *obs.CounterVec
+	httpDur      *obs.HistogramVec
 }
 
 // New builds a Server over a registry and an engine.
@@ -132,7 +152,25 @@ func New(cfg Config) (*Server, error) {
 		}
 		ownsJobs = true
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), ownsJobs: ownsJobs}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		ownsJobs: ownsJobs,
+		start:    time.Now(),
+		logger:   cfg.Logger,
+		httpRequests: cfg.Metrics.CounterVec("agmdp_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "code"),
+		httpDur: cfg.Metrics.HistogramVec("agmdp_http_request_duration_seconds",
+			"Wall-clock duration of HTTP requests, by route pattern.",
+			nil, "route"),
+	}
 
 	// Every pre-v1 route is registered twice: the versioned /v1 path is the
 	// canonical one, the unversioned path is a compatibility alias bound to
@@ -158,11 +196,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	s.registerObservability()
 	return s, nil
 }
 
-// Handler returns the root http.Handler of the service.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root http.Handler of the service: the route mux behind
+// the request-instrumentation middleware (request IDs, per-route metrics,
+// one structured log line per request).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // Close releases resources the server created itself (currently the default
 // jobs manager, which cancels running jobs and waits for them). Callers that
@@ -186,7 +227,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("server: writing JSON response: %v", err)
+		slog.Error("server: writing JSON response failed", "error", err)
 		panic(http.ErrAbortHandler)
 	}
 }
@@ -197,7 +238,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // end of body.
 func abortOnStreamError(what string, err error) {
 	if err != nil {
-		log.Printf("server: streaming %s: %v", what, err)
+		slog.Error("server: streaming response failed", "what", what, "error", err)
 		panic(http.ErrAbortHandler)
 	}
 }
@@ -215,22 +256,36 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return dec.Decode(v)
 }
 
-// healthzResponse is the GET /healthz body.
+// healthzResponse is the GET /healthz body. The original fields (status and
+// resource counts) are unchanged for pre-v1 clients; uptime, build identity,
+// store byte sizes and the shared worker pool's load ride along.
 type healthzResponse struct {
-	Status string       `json:"status"`
-	Models int          `json:"models"`
-	Graphs int          `json:"graphs"`
-	Jobs   int          `json:"jobs"`
-	Engine engine.Stats `json:"engine"`
+	Status        string         `json:"status"`
+	Models        int            `json:"models"`
+	Graphs        int            `json:"graphs"`
+	Jobs          int            `json:"jobs"`
+	Engine        engine.Stats   `json:"engine"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	GoVersion     string         `json:"go_version"`
+	Build         string         `json:"build"`
+	ModelBytes    int64          `json:"model_bytes"`
+	GraphBytes    int64          `json:"graph_bytes"`
+	Pool          parallel.Stats `json:"pool"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{
-		Status: "ok",
-		Models: s.cfg.Registry.Len(),
-		Graphs: s.cfg.Graphs.Len(),
-		Jobs:   len(s.cfg.Jobs.List()),
-		Engine: s.cfg.Engine.Stats(),
+		Status:        "ok",
+		Models:        s.cfg.Registry.Len(),
+		Graphs:        s.cfg.Graphs.Len(),
+		Jobs:          len(s.cfg.Jobs.List()),
+		Engine:        s.cfg.Engine.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     goVersion(),
+		Build:         buildVersion(),
+		ModelBytes:    s.cfg.Registry.SizeBytes(),
+		GraphBytes:    s.cfg.Graphs.SizeBytes(),
+		Pool:          parallel.PoolStats(),
 	})
 }
 

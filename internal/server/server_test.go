@@ -88,6 +88,12 @@ func TestHealthz(t *testing.T) {
 	if hr.Status != "ok" || hr.Engine.Workers != 2 {
 		t.Fatalf("healthz = %+v", hr)
 	}
+	if hr.UptimeSeconds < 0 || hr.GoVersion == "" || hr.Build == "" {
+		t.Fatalf("healthz build/uptime fields = %+v", hr)
+	}
+	if hr.ModelBytes != 0 || hr.GraphBytes != 0 {
+		t.Fatalf("empty stores report bytes: %+v", hr)
+	}
 }
 
 func TestFitSampleRoundTrip(t *testing.T) {

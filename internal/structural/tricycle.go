@@ -2,9 +2,24 @@ package structural
 
 import (
 	"math/rand"
+	"time"
 
 	"agmdp/internal/graph"
+	"agmdp/internal/obs"
 	"agmdp/internal/parallel"
+)
+
+// Phase timings for TriCycLe generation, on the process-wide default
+// registry. The two histograms split one Generate call into its seed phase
+// (Chung–Lu plus orphan post-processing) and its rewiring phase, giving the
+// sampling pipeline generate-vs-rewire visibility. Only the wall clock is
+// read — no RNG draws are added or reordered, so generated graphs are
+// byte-identical with and without a scraper attached.
+var (
+	tricycleSeedDur = obs.Default().Histogram("agmdp_structural_seed_duration_seconds",
+		"Wall-clock duration of the Chung-Lu seed phase of TriCycLe generation.")
+	tricycleRewireDur = obs.Default().Histogram("agmdp_structural_rewire_duration_seconds",
+		"Wall-clock duration of the triangle-rewiring phase of TriCycLe generation.")
 )
 
 // TriCycLe is the structural model introduced by the paper (Algorithm 1). It
@@ -74,19 +89,23 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 		seedTarget = 0
 	}
 
+	seedStart := time.Now()
 	b := generateCLParallelBuilder(rng, n, sampler, seedTarget, filter, workers)
 	if postProcess {
 		PostProcessGraph(rng, b, sampler, degrees, filter)
 	}
+	tricycleSeedDur.ObserveDuration(time.Since(seedStart))
 	if b.NumEdges() == 0 || sampler.Empty() {
 		return b.Finalize()
 	}
 
+	rewireStart := time.Now()
 	if workers > 1 && b.NumEdges() >= minParallelEdges {
 		rewireParallel(rng, b, sampler, filter, params.Triangles, proposalFactor, workers)
 	} else {
 		rewireSequential(rng, b, sampler, filter, params.Triangles, proposalFactor)
 	}
+	tricycleRewireDur.ObserveDuration(time.Since(rewireStart))
 
 	if postProcess {
 		PostProcessGraph(rng, b, sampler, degrees, filter)

@@ -4,7 +4,7 @@
 #
 #   scripts/bench.sh [output.json]
 #
-# The default output is BENCH_pr5.json in the repository root; the PR number
+# The default output is BENCH_pr6.json in the repository root; the PR number
 # is parsed from the file name. Each entry holds the benchmark name,
 # iteration count, ns/op and (when reported) B/op and allocs/op; the
 # "speedups" section reports every before/after ratio whose benchmark pair is
@@ -16,6 +16,8 @@
 #   PR 4 pairs — binary CSR snapshot codec vs the line-oriented text format
 #   PR 5 pairs — linear counting-based snapshot symmetry check vs the
 #                per-edge binary-search baseline
+#   PR 6 pairs — the metrics registry's lock-free atomic counter vs a
+#                mutex-guarded baseline (the instrumentation fast path)
 #
 # BENCH_PKGS overrides the benchmarked packages (the root package holds the
 # much slower paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
@@ -24,8 +26,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr5.json}"
-pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/}"
+out="${1:-BENCH_pr6.json}"
+pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/}"
 benchtime="1s"
 if [ "${BENCH_SHORT:-0}" != "0" ]; then
   benchtime="100ms"
@@ -95,6 +97,9 @@ pairs = {
     # per-edge binary-search baseline it replaced.
     "validate_symmetry_linear_vs_bsearch": (
         "BenchmarkValidateSymmetryBSearch", "BenchmarkValidateSymmetryLinear"),
+    # PR 6: the metrics registry's lock-free counter fast path vs a
+    # mutex-guarded baseline.
+    "atomic_counter_vs_mutex": ("BenchmarkMutexCounterInc", "BenchmarkCounterInc"),
 }
 speedups = {}
 for key, (base, new) in pairs.items():
