@@ -98,7 +98,9 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	var (
 		addr          = fs.String("addr", ":8080", "listen address")
 		store         = fs.String("store", "", "model store directory (empty = in-memory only)")
+		tableDir      = fs.String("table-dir", "", "acceptance-table directory (empty = next to the model store; in-memory when no model store)")
 		graphStore    = fs.String("graph-store", "", "graph store directory for binary CSR snapshots (empty = in-memory only)")
+		graphCache    = fs.Int64("graph-cache-bytes", 0, "byte budget for decoded graphs kept in memory (0 = default 256 MiB, negative = unbounded)")
 		jobsDir       = fs.String("jobs-dir", "", "finished-job metadata directory (empty = <graph-store>/jobs, or in-memory when no graph store)")
 		workers       = fs.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
 		queue         = fs.Int("queue", 0, "job queue bound (0 = 4x workers)")
@@ -133,17 +135,20 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	// error paths (stream aborts, job-persistence failures).
 	slog.SetDefault(logger)
 
-	reg, err := registry.Open(registry.Options{Dir: *store, MaxModels: *maxModels})
+	reg, err := registry.Open(registry.Options{Dir: *store, TableDir: *tableDir, MaxModels: *maxModels})
 	if err != nil {
 		return err
 	}
 	for _, warning := range reg.LoadWarnings() {
 		logger.Warn("skipped store file", "warning", warning)
 	}
-	graphs, err := graphstore.Open(graphstore.Options{Dir: *graphStore, MaxGraphs: *maxGraphs})
+	graphs, err := graphstore.Open(graphstore.Options{Dir: *graphStore, MaxGraphs: *maxGraphs, CacheBytes: *graphCache})
 	if err != nil {
 		return err
 	}
+	// Release snapshot memory maps after the server (deferred later, so it
+	// unwinds first) has stopped serving them.
+	defer graphs.Close()
 	for _, warning := range graphs.LoadWarnings() {
 		logger.Warn("skipped graph snapshot", "warning", warning)
 	}

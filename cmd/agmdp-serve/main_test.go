@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -95,9 +96,31 @@ func TestServeEndToEnd(t *testing.T) {
 	if a, b := sample(), sample(); a != b {
 		t.Fatalf("equal seeds gave different summaries: %s vs %s", a, b)
 	}
+
+	// A default-shaped sample fits the model's acceptance table, which
+	// persists next to the model file as <id>.table.
+	defaultSample := func(base string) string {
+		resp, err := http.Post(base+"/sample", "application/json", strings.NewReader(
+			fmt.Sprintf(`{"id":%q,"seed":9,"format":"summary"}`, fr.ID)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("default sample: %d %s", resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	before := defaultSample(base)
+	tables, _ := filepath.Glob(filepath.Join(store, "*.table"))
+	if len(tables) == 0 {
+		t.Fatal("default-shaped sample left no persisted acceptance table next to the model")
+	}
 	shutdown()
 
-	// The store directory persists the model across a restart.
+	// The store directory persists the model — and its acceptance table —
+	// across a restart.
 	base2, shutdown2 := startService(t, "-store", store)
 	defer shutdown2()
 	resp2, err := http.Get(base2 + "/models/" + fr.ID)
@@ -107,6 +130,11 @@ func TestServeEndToEnd(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("model did not survive restart: %d", resp2.StatusCode)
+	}
+	// The reloaded table serves the same distribution: equal seeds, equal
+	// summaries across the restart.
+	if after := defaultSample(base2); after != before {
+		t.Fatalf("default sample changed across restart: %s vs %s", before, after)
 	}
 }
 
@@ -148,7 +176,9 @@ func TestServeV1GraphStoreSurvivesRestart(t *testing.T) {
 	}
 	shutdown()
 
-	base2, shutdown2 := startService(t, "-graph-store", dir)
+	// The tiny decoded-graph budget below proves a cold store still serves:
+	// fitting by ID forces a lazy decode, downloads stream the snapshot.
+	base2, shutdown2 := startService(t, "-graph-store", dir, "-graph-cache-bytes", "1")
 	defer shutdown2()
 
 	// The graph survived the restart and fits by ID.

@@ -126,6 +126,89 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return nil
 }
 
+// binaryHeader is the decoded fixed header of a binary CSR snapshot.
+type binaryHeader struct {
+	n, m, w int
+	flags   uint32
+}
+
+// size returns the exact encoded length of the snapshot the header
+// describes. The encoding is canonical, so the header fully determines it.
+func (h binaryHeader) size() int64 {
+	size := int64(binaryHeaderSize)
+	size += int64(h.n+1) * 8
+	size += int64(2*h.m) * 4
+	if h.flags&flagAttrs != 0 {
+		size += int64(h.n) * 8
+	}
+	return size
+}
+
+// parseBinaryHeader validates and decodes the fixed snapshot header,
+// enforcing every canonical-form rule that is decidable from the header
+// alone (magic, version, flags, attribute width, plausible counts).
+func parseBinaryHeader(hdr []byte) (binaryHeader, error) {
+	if string(hdr[0:8]) != binaryMagic {
+		return binaryHeader{}, fmt.Errorf("graph: not an agmdp binary snapshot (magic %q)", hdr[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != binaryVersion {
+		return binaryHeader{}, fmt.Errorf("graph: unsupported binary snapshot version %d (want %d)", v, binaryVersion)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[12:16])
+	if flags&^uint32(flagAttrs) != 0 {
+		return binaryHeader{}, fmt.Errorf("graph: unknown binary snapshot flags %#x", flags)
+	}
+	w := binary.LittleEndian.Uint32(hdr[16:20])
+	if w > MaxAttributes {
+		return binaryHeader{}, fmt.Errorf("graph: binary snapshot attribute width %d outside [0, %d]", w, MaxAttributes)
+	}
+	if (flags&flagAttrs != 0) != (w > 0) {
+		return binaryHeader{}, fmt.Errorf("graph: non-canonical binary snapshot: attrs flag %t with width %d", flags&flagAttrs != 0, w)
+	}
+	if reserved := binary.LittleEndian.Uint32(hdr[20:24]); reserved != 0 {
+		return binaryHeader{}, fmt.Errorf("graph: non-canonical binary snapshot: reserved word %#x", reserved)
+	}
+	n64 := binary.LittleEndian.Uint64(hdr[24:32])
+	m64 := binary.LittleEndian.Uint64(hdr[32:40])
+	if n64 > math.MaxInt32 {
+		return binaryHeader{}, fmt.Errorf("graph: binary snapshot node count %d exceeds the int32 ID space", n64)
+	}
+	n := int(n64)
+	if m64 > uint64(maxEdges(n)) {
+		return binaryHeader{}, fmt.Errorf("graph: binary snapshot edge count %d impossible for %d nodes", m64, n)
+	}
+	return binaryHeader{n: n, m: int(m64), w: int(w), flags: flags}, nil
+}
+
+// SnapshotStat is the lightweight metadata of a binary CSR snapshot,
+// recoverable from its fixed header without decoding the arrays.
+type SnapshotStat struct {
+	// Nodes, Edges and Attributes are the graph dimensions (n, m, w).
+	Nodes, Edges, Attributes int
+	// Size is the exact encoded snapshot length in bytes. The encoding is
+	// canonical, so a stored snapshot whose file length differs is corrupt.
+	Size int64
+}
+
+// StatBinary decodes the metadata of a binary CSR snapshot from its leading
+// bytes (at least the fixed header, BinaryHeaderSize bytes) without reading
+// or validating the arrays. It is the O(header) entry point an out-of-core
+// store uses to list snapshots it has not decoded.
+func StatBinary(prefix []byte) (SnapshotStat, error) {
+	if len(prefix) < binaryHeaderSize {
+		return SnapshotStat{}, fmt.Errorf("graph: binary snapshot header truncated at %d bytes (want %d)", len(prefix), binaryHeaderSize)
+	}
+	h, err := parseBinaryHeader(prefix[:binaryHeaderSize])
+	if err != nil {
+		return SnapshotStat{}, err
+	}
+	return SnapshotStat{Nodes: h.n, Edges: h.m, Attributes: h.w, Size: h.size()}, nil
+}
+
+// BinaryHeaderSize is the length of the fixed snapshot header: the prefix
+// StatBinary needs.
+const BinaryHeaderSize = binaryHeaderSize
+
 // ReadBinary parses a binary CSR snapshot written by WriteBinary, fully
 // validating the graph invariants (canonical header, monotone offsets,
 // strictly increasing in-range rows, no self loops, symmetric adjacency)
@@ -137,36 +220,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading binary header: %w", err)
 	}
-	if string(hdr[0:8]) != binaryMagic {
-		return nil, fmt.Errorf("graph: not an agmdp binary snapshot (magic %q)", hdr[0:8])
+	h, err := parseBinaryHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported binary snapshot version %d (want %d)", v, binaryVersion)
-	}
-	flags := binary.LittleEndian.Uint32(hdr[12:16])
-	if flags&^uint32(flagAttrs) != 0 {
-		return nil, fmt.Errorf("graph: unknown binary snapshot flags %#x", flags)
-	}
-	w := binary.LittleEndian.Uint32(hdr[16:20])
-	if w > MaxAttributes {
-		return nil, fmt.Errorf("graph: binary snapshot attribute width %d outside [0, %d]", w, MaxAttributes)
-	}
-	if (flags&flagAttrs != 0) != (w > 0) {
-		return nil, fmt.Errorf("graph: non-canonical binary snapshot: attrs flag %t with width %d", flags&flagAttrs != 0, w)
-	}
-	if reserved := binary.LittleEndian.Uint32(hdr[20:24]); reserved != 0 {
-		return nil, fmt.Errorf("graph: non-canonical binary snapshot: reserved word %#x", reserved)
-	}
-	n64 := binary.LittleEndian.Uint64(hdr[24:32])
-	m64 := binary.LittleEndian.Uint64(hdr[32:40])
-	if n64 > math.MaxInt32 {
-		return nil, fmt.Errorf("graph: binary snapshot node count %d exceeds the int32 ID space", n64)
-	}
-	n := int(n64)
-	if m64 > uint64(maxEdges(n)) {
-		return nil, fmt.Errorf("graph: binary snapshot edge count %d impossible for %d nodes", m64, n)
-	}
-	m := int(m64)
+	n, m, w, flags := h.n, h.m, h.w, h.flags
 
 	offsets, err := readInt64s(br, n+1)
 	if err != nil {
@@ -178,14 +236,73 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	attrs := make([]AttrVector, n)
 	if flags&flagAttrs != 0 {
-		if err := readAttrs(br, attrs, int(w)); err != nil {
+		if err := readAttrs(br, attrs, w); err != nil {
 			return nil, fmt.Errorf("graph: reading binary attrs: %w", err)
 		}
 	}
 	if err := validateCSR(n, offsets, neighbors); err != nil {
 		return nil, fmt.Errorf("graph: invalid binary snapshot: %w", err)
 	}
-	return &Graph{w: int(w), m: m, offsets: offsets, neighbors: neighbors, attrs: attrs}, nil
+	return &Graph{w: w, m: m, offsets: offsets, neighbors: neighbors, attrs: attrs}, nil
+}
+
+// DecodeBinary parses a binary CSR snapshot held fully in memory, with the
+// same complete validation as ReadBinary. It is the lazy-decode entry point
+// for stores that keep canonical snapshot bytes (heap-resident or mmap'd)
+// and materialise the graph on first use: decoding straight off the slice
+// skips the reader plumbing and the chunk staging buffers of the stream
+// path. Unlike ReadBinary, the slice must be exactly one snapshot — trailing
+// bytes fail decoding, because a content-addressed snapshot with trailing
+// junk is by definition corrupt.
+//
+// The decoded graph shares no memory with data: callers may unmap or reuse
+// the input once DecodeBinary returns.
+func DecodeBinary(data []byte) (*Graph, error) {
+	if len(data) < binaryHeaderSize {
+		return nil, fmt.Errorf("graph: binary snapshot truncated at %d bytes (want at least %d)", len(data), binaryHeaderSize)
+	}
+	h, err := parseBinaryHeader(data[:binaryHeaderSize])
+	if err != nil {
+		return nil, err
+	}
+	if want := h.size(); int64(len(data)) != want {
+		return nil, fmt.Errorf("graph: binary snapshot is %d bytes, want exactly %d for its header", len(data), want)
+	}
+	n, m, w := h.n, h.m, h.w
+
+	body := data[binaryHeaderSize:]
+	offsets := make([]int64, n+1)
+	for i := range offsets {
+		offsets[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	body = body[8*(n+1):]
+	neighbors := make([]int32, 2*m)
+	for i := range neighbors {
+		neighbors[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	attrs := make([]AttrVector, n)
+	if h.flags&flagAttrs != 0 {
+		body = body[4*2*m:]
+		for i := range attrs {
+			a := AttrVector(binary.LittleEndian.Uint64(body[8*i:]))
+			if a != a.maskWidth(w) {
+				return nil, fmt.Errorf("graph: reading binary attrs: node %d attribute vector %#x has bits above width %d", i, uint64(a), w)
+			}
+			attrs[i] = a
+		}
+	}
+	if err := validateCSR(n, offsets, neighbors); err != nil {
+		return nil, fmt.Errorf("graph: invalid binary snapshot: %w", err)
+	}
+	return &Graph{w: w, m: m, offsets: offsets, neighbors: neighbors, attrs: attrs}, nil
+}
+
+// MemoryBytes estimates the resident heap footprint of the decoded graph:
+// the CSR arrays plus the attribute vectors (allocated for every node even
+// on width-0 graphs). Byte-budget caches use it to account decoded graphs;
+// the struct header and allocator rounding are ignored.
+func (g *Graph) MemoryBytes() int64 {
+	return int64(len(g.offsets))*8 + int64(len(g.neighbors))*4 + int64(len(g.attrs))*8
 }
 
 // maxEdges returns the maximum undirected simple-graph edge count for n

@@ -95,6 +95,94 @@ func TestBinaryRoundTripCorners(t *testing.T) {
 	}
 }
 
+// TestDecodeBinaryMatchesReadBinary pins the slice-based lazy-decode entry
+// point to the stream decoder: for random graphs both decoders accept the
+// canonical snapshot and produce equal graphs, and DecodeBinary's result
+// shares no memory with the input (mutating the input must not change it).
+func TestDecodeBinaryMatchesReadBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, rng.Intn(60), rng.Intn(graph.MaxAttributes+1), rng.Float64()*0.3)
+		data := encodeBinary(t, g)
+		streamed, err := graph.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trial %d: ReadBinary: %v", trial, err)
+		}
+		decoded, err := graph.DecodeBinary(data)
+		if err != nil {
+			t.Fatalf("trial %d: DecodeBinary: %v", trial, err)
+		}
+		if !streamed.Equal(decoded) || !g.Equal(decoded) {
+			t.Fatalf("trial %d: DecodeBinary disagrees with ReadBinary", trial)
+		}
+		for i := range data {
+			data[i] = 0xff
+		}
+		if !g.Equal(decoded) {
+			t.Fatalf("trial %d: decoded graph aliases the input bytes", trial)
+		}
+	}
+}
+
+// TestDecodeBinaryRejectsInexactLength checks that the slice decoder, unlike
+// the stream decoder, refuses trailing bytes and truncated snapshots: a
+// content-addressed snapshot must be exactly one encoding.
+func TestDecodeBinaryRejectsInexactLength(t *testing.T) {
+	g := graph.FromEdges(3, 1, []graph.Edge{{U: 0, V: 1}})
+	data := encodeBinary(t, g)
+	if _, err := graph.DecodeBinary(append(append([]byte(nil), data...), 'x')); err == nil {
+		t.Fatal("DecodeBinary accepted trailing bytes")
+	}
+	if _, err := graph.DecodeBinary(data[:len(data)-1]); err == nil {
+		t.Fatal("DecodeBinary accepted a truncated snapshot")
+	}
+	if _, err := graph.DecodeBinary(data[:10]); err == nil {
+		t.Fatal("DecodeBinary accepted a truncated header")
+	}
+	if _, err := graph.DecodeBinary(data); err != nil {
+		t.Fatalf("DecodeBinary rejected the exact snapshot: %v", err)
+	}
+}
+
+// TestStatBinary checks the O(header) metadata entry point: dimensions and
+// exact size from just the header prefix, and rejection of foreign bytes.
+func TestStatBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 1+rng.Intn(50), rng.Intn(graph.MaxAttributes+1), rng.Float64()*0.3)
+		data := encodeBinary(t, g)
+		stat, err := graph.StatBinary(data[:graph.BinaryHeaderSize])
+		if err != nil {
+			t.Fatalf("trial %d: StatBinary: %v", trial, err)
+		}
+		if stat.Nodes != g.NumNodes() || stat.Edges != g.NumEdges() || stat.Attributes != g.NumAttributes() {
+			t.Fatalf("trial %d: StatBinary = %+v, want n=%d m=%d w=%d", trial, stat, g.NumNodes(), g.NumEdges(), g.NumAttributes())
+		}
+		if stat.Size != int64(len(data)) || stat.Size != g.BinarySize() {
+			t.Fatalf("trial %d: StatBinary.Size = %d, want %d", trial, stat.Size, len(data))
+		}
+	}
+	if _, err := graph.StatBinary([]byte("short")); err == nil {
+		t.Fatal("StatBinary accepted a short prefix")
+	}
+	if _, err := graph.StatBinary(make([]byte, graph.BinaryHeaderSize)); err == nil {
+		t.Fatal("StatBinary accepted a zeroed header")
+	}
+}
+
+// TestMemoryBytes pins the decoded-footprint estimate to the CSR array
+// lengths the byte-budget cache accounts with.
+func TestMemoryBytes(t *testing.T) {
+	g := graph.FromEdges(5, 2, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	want := int64(6*8 + 6*4 + 5*8) // offsets, neighbors, attrs
+	if got := g.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	if graph.New(0, 0).MemoryBytes() != 8 {
+		t.Fatal("empty graph should cost one offset entry")
+	}
+}
+
 // TestBinaryMatchesTextDecode pins the two codecs to each other: the same
 // graph decoded from its text form and from its binary form must be equal.
 func TestBinaryMatchesTextDecode(t *testing.T) {

@@ -1,6 +1,10 @@
 package graph
 
-import "agmdp/internal/parallel"
+import (
+	"sync/atomic"
+
+	"agmdp/internal/parallel"
+)
 
 // Sequential-fallback thresholds: below these sizes the goroutine fan-out and
 // per-worker state cost more than the work itself, so the *With analytics run
@@ -66,9 +70,12 @@ func countForwardTriangles(foffsets []int64, fneighbors []int32, lo, hi int) int
 
 // LocalClusteringAllWith is LocalClusteringAll with an explicit worker count
 // (≤ 0 selects the process default). Workers accumulate triangle credits into
-// per-worker counter arrays that are then summed per node, so no two
-// goroutines ever write the same memory and the counts — and therefore the
-// coefficients — are bit-identical to the sequential pass.
+// one shared counter array with atomic adds: integer addition is exact and
+// commutative, so whatever order the workers' increments land in, every node
+// ends with the same count — and therefore the same coefficient — as the
+// sequential pass, bit-identically, for every worker count. The shared array
+// keeps the pass at O(n) auxiliary memory where per-worker counters would
+// cost O(workers·n) on large graphs.
 func (g *Graph) LocalClusteringAllWith(workers int) []float64 {
 	n := len(g.attrs)
 	workers = parallel.Resolve(workers)
@@ -76,34 +83,56 @@ func (g *Graph) LocalClusteringAllWith(workers int) []float64 {
 		return g.localClusteringAllSeq()
 	}
 	shards := parallel.SplitWeighted(g.offsets, workers)
-	perWorker := make([][]int64, len(shards))
+	counts := make([]int64, n)
 	parallel.Do(len(shards), func(s int) {
-		counts := make([]int64, n)
 		r := shards[s]
 		for u := r.Lo; u < r.Hi; u++ {
-			g.creditTrianglesAlongEdges(u, counts)
+			g.creditTrianglesAlongEdgesAtomic(u, counts)
 		}
-		perWorker[s] = counts
 	})
 	out := make([]float64, n)
-	// Merge the per-worker counters and finish the coefficients, sharded by
-	// plain node ranges (O(workers) adds per node, degree no longer matters).
+	// Finish the coefficients over plain node ranges; the counters are
+	// settled (parallel.Do is a full barrier), so these are plain reads.
 	merge := parallel.Split(n, workers)
 	parallel.Do(len(merge), func(s int) {
 		r := merge[s]
 		for i := r.Lo; i < r.Hi; i++ {
-			var t int64
-			for _, counts := range perWorker {
-				t += counts[i]
-			}
 			d := int(g.offsets[i+1] - g.offsets[i])
 			if d < 2 {
 				continue
 			}
-			out[i] = 2 * float64(t) / (float64(d) * float64(d-1))
+			out[i] = 2 * float64(counts[i]) / (float64(d) * float64(d-1))
 		}
 	})
 	return out
+}
+
+// creditTrianglesAlongEdgesAtomic is creditTrianglesAlongEdges against a
+// counter array shared between workers: the increment is atomic, everything
+// else is identical. Kept separate so the sequential pass pays no atomic
+// overhead.
+func (g *Graph) creditTrianglesAlongEdgesAtomic(u int, counts []int64) {
+	ru := g.row(u)
+	for _, v32 := range ru {
+		v := int(v32)
+		if u >= v {
+			continue
+		}
+		rv := g.row(v)
+		i, j := 0, 0
+		for i < len(ru) && j < len(rv) {
+			a, b := ru[i], rv[j]
+			if a == b {
+				atomic.AddInt64(&counts[a], 1)
+				i++
+				j++
+			} else if a < b {
+				i++
+			} else {
+				j++
+			}
+		}
+	}
 }
 
 // creditTrianglesAlongEdges walks node u's edges {u, v} with v > u and

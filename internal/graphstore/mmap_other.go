@@ -1,0 +1,18 @@
+//go:build !unix
+
+package graphstore
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("graphstore: memory mapping not supported on this platform")
+
+// mmapFile always fails on platforms without memory-mapping support; the
+// store falls back to chunked file reads for every snapshot access.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmap(_ []byte) {}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package graphstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a snapshot file read-only. Zero-length files cannot be
+// mapped on every unix; callers treat the error as "fall back to streaming".
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("graphstore: cannot map %d-byte file", size)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("graphstore: file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: mmap: %w", err)
+	}
+	return data, nil
+}
+
+// munmap releases a mapping created by mmapFile. Unmap errors are
+// unrecoverable and silently ignored; the worst case is a leaked mapping.
+func munmap(data []byte) {
+	_ = syscall.Munmap(data)
+}

@@ -15,12 +15,16 @@
 //
 // The registry also caches each model's fitted acceptance table (Acceptance /
 // SetAcceptance, the engine.AcceptanceCache interface), so the sampling
-// engine refines a model's acceptance filter once instead of on every sample;
-// the table is dropped when its model is evicted.
+// engine refines a model's acceptance filter once instead of on every sample.
+// With persistence enabled, tables are written to <id>.table files next to
+// the model files and reloaded lazily on first Acceptance miss, so a restart
+// costs no re-refinement; the table (file included) is dropped when its model
+// is evicted.
 package registry
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -48,6 +52,11 @@ type Options struct {
 	// Dir, when non-empty, enables persistence: every stored model is written
 	// to Dir/<id>.json and existing models are loaded back on Open.
 	Dir string
+	// TableDir, when non-empty, persists fitted acceptance tables as
+	// TableDir/<id>.table and lazily reloads them on first Acceptance miss.
+	// Empty defaults to Dir (tables live next to their model files); tables
+	// stay purely in-memory when both are empty.
+	TableDir string
 	// MaxModels bounds the number of resident models; when the bound is
 	// exceeded the oldest entry (by insertion time) is evicted. Zero means
 	// unbounded.
@@ -81,14 +90,15 @@ type entry struct {
 // Registry is a thread-safe, content-addressed store of fitted models. The
 // zero value is not usable; construct with Open.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]*entry
-	order   []string // insertion order, oldest first, for bounded eviction
-	dir     string
-	max     int
-	clock   func() time.Time
-	skipped []string
-	bytes   int64 // total serialized bytes resident, maintained by insert/evict
+	mu       sync.RWMutex
+	entries  map[string]*entry
+	order    []string // insertion order, oldest first, for bounded eviction
+	dir      string
+	tableDir string
+	max      int
+	clock    func() time.Time
+	skipped  []string
+	bytes    int64 // total serialized bytes resident, maintained by insert/evict
 }
 
 // Open creates a registry. If opts.Dir is non-empty the directory is created
@@ -98,11 +108,21 @@ func Open(opts Options) (*Registry, error) {
 	if clock == nil {
 		clock = time.Now
 	}
+	tableDir := opts.TableDir
+	if tableDir == "" {
+		tableDir = opts.Dir
+	}
 	r := &Registry{
-		entries: make(map[string]*entry),
-		dir:     opts.Dir,
-		max:     opts.MaxModels,
-		clock:   clock,
+		entries:  make(map[string]*entry),
+		dir:      opts.Dir,
+		tableDir: tableDir,
+		max:      opts.MaxModels,
+		clock:    clock,
+	}
+	if r.tableDir != "" {
+		if err := os.MkdirAll(r.tableDir, 0o755); err != nil {
+			return nil, fmt.Errorf("registry: creating table directory: %w", err)
+		}
 	}
 	if r.dir != "" {
 		if err := os.MkdirAll(r.dir, 0o755); err != nil {
@@ -309,15 +329,39 @@ func (r *Registry) Bytes(id string) ([]byte, bool) {
 }
 
 // Acceptance returns the cached acceptance table of a stored model, if one
-// has been fitted. The returned slice is shared and MUST be treated as
-// read-only (it can be large — O(4^w) — so hot paths avoid copying). The
-// registry implements engine.AcceptanceCache with this pair of methods.
+// has been fitted. On a memory miss with table persistence configured, the
+// table is loaded lazily from its <id>.table file and cached — a restarted
+// service reuses tables fitted before the restart instead of re-refining.
+// The returned slice is shared and MUST be treated as read-only (it can be
+// large — O(4^w) — so hot paths avoid copying). The registry implements
+// engine.AcceptanceCache with this pair of methods.
 func (r *Registry) Acceptance(id string) ([]float64, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	e, ok := r.entries[id]
-	if !ok || e.accept == nil {
+	if ok && e.accept != nil {
+		table := e.accept
+		r.mu.RUnlock()
+		return table, true
+	}
+	r.mu.RUnlock()
+	if !ok || r.tableDir == "" {
 		return nil, false
+	}
+	// Read outside the lock so table I/O never stalls model serving. Two
+	// concurrent loaders at worst both read the same deterministic file.
+	table, ok := r.loadTable(id)
+	if !ok {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok = r.entries[id]
+	if !ok {
+		// Model evicted while loading; its table file is gone too.
+		return nil, false
+	}
+	if e.accept == nil {
+		e.accept = table
 	}
 	return e.accept, true
 }
@@ -325,17 +369,25 @@ func (r *Registry) Acceptance(id string) ([]float64, bool) {
 // SetAcceptance stores the acceptance table of a resident model, reporting
 // whether the model exists. The table lives and dies with the model entry:
 // evicting the model (explicitly or by the MaxModels bound) drops the table
-// with it, so a re-fitted model can never serve a stale table. Tables are
-// in-memory only — they are cheap to re-fit and deterministic per model, so
-// persisting them would buy nothing.
+// — and its persisted file — with it, so a re-fitted model can never serve
+// a stale table. With table persistence configured the table is also written
+// to <id>.table (content-addressed model IDs make the file permanently
+// valid); persistence failures are logged and the in-memory table still
+// serves, since a missing file merely costs a re-fit after restart.
 func (r *Registry) SetAcceptance(id string, table []float64) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[id]
 	if !ok {
+		r.mu.Unlock()
 		return false
 	}
 	e.accept = table
+	r.mu.Unlock()
+	if r.tableDir != "" {
+		if err := r.persistTable(id, table); err != nil {
+			slog.Error("registry: persisting acceptance table", "id", id, "err", err)
+		}
+	}
 	return true
 }
 
@@ -403,5 +455,8 @@ func (r *Registry) evictLocked(id string) {
 	}
 	if r.dir != "" {
 		os.Remove(filepath.Join(r.dir, id+".json"))
+	}
+	if r.tableDir != "" {
+		os.Remove(r.tablePath(id))
 	}
 }

@@ -31,8 +31,14 @@ func (s *Server) registerObservability() {
 		"Graphs resident in the graph store.",
 		func() float64 { return float64(cfg.Graphs.Len()) })
 	m.GaugeFunc("agmdp_graphs_bytes",
-		"Canonical snapshot bytes of the resident graphs.",
+		"Canonical snapshot bytes of the stored graphs (on disk for persistent stores).",
 		func() float64 { return float64(cfg.Graphs.SizeBytes()) })
+	m.GaugeFunc("agmdp_graphstore_decoded_graphs",
+		"Decoded graphs resident in the graph store's byte-budget cache.",
+		func() float64 { return float64(cfg.Graphs.DecodedLen()) })
+	m.GaugeFunc("agmdp_graphstore_decoded_bytes",
+		"Heap bytes of decoded CSR graphs resident in the byte-budget cache.",
+		func() float64 { return float64(cfg.Graphs.DecodedBytes()) })
 	m.GaugeFunc("agmdp_jobs_retained",
 		"Jobs known to the manager (queued, running and retained finished).",
 		func() float64 { return float64(len(cfg.Jobs.List())) })

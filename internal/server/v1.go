@@ -103,8 +103,11 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 // handleGetGraph stats a stored graph, or downloads it when ?format= names a
 // wire format: "json" inlines the graphPayload, "text" streams the agmdp
-// text form, "binary" the canonical CSR snapshot (served from the stored
-// bytes without a re-encode).
+// text form, "binary" the canonical CSR snapshot. The stat and binary paths
+// never materialize the decoded graph — metadata comes from the store's
+// header index and the snapshot streams straight from its bytes (memory map
+// or chunked file read) with zero CSR decode — so downloading an idle graph
+// keeps its residency at O(header).
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	format := r.URL.Query().Get("format")
@@ -114,33 +117,38 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text or binary)", format)
 		return
 	}
-	g, ok := s.cfg.Graphs.Get(id)
+	info, ok := s.cfg.Graphs.Stat(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no graph %q", id)
 		return
 	}
 	switch format {
 	case "":
-		info, _ := s.cfg.Graphs.Stat(id)
 		writeJSON(w, http.StatusOK, info)
-	case "json":
-		writeJSON(w, http.StatusOK, payloadFromGraph(g))
-	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		abortOnStreamError("stored graph text", g.WriteGraph(w))
 	case "binary":
-		// The entry can be evicted between Get and Bytes; fall back to
-		// re-encoding the graph already in hand (canonical, so identical
-		// bytes) rather than serving a 200 with an empty body.
 		w.Header().Set("Content-Type", "application/octet-stream")
-		if data, ok := s.cfg.Graphs.Bytes(id); ok {
-			w.Header().Set("Content-Length", fmt.Sprint(len(data)))
-			_, err := w.Write(data)
-			abortOnStreamError("stored graph snapshot", err)
+		w.Header().Set("Content-Length", fmt.Sprint(info.SizeBytes))
+		err := s.cfg.Graphs.WriteSnapshot(id, w)
+		if err == graphstore.ErrNotFound {
+			// Evicted between Stat and the write, before any body byte.
+			writeError(w, http.StatusNotFound, "no graph %q", id)
 			return
 		}
-		w.Header().Set("Content-Length", fmt.Sprint(g.BinarySize()))
-		abortOnStreamError("stored graph snapshot", g.WriteBinary(w))
+		abortOnStreamError("stored graph snapshot", err)
+	default:
+		// json and text re-shape the graph, so these formats do decode (via
+		// the store's byte-budget cache).
+		g, ok := s.cfg.Graphs.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no graph %q", id)
+			return
+		}
+		if format == "json" {
+			writeJSON(w, http.StatusOK, payloadFromGraph(g))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		abortOnStreamError("stored graph text", g.WriteGraph(w))
 	}
 }
 

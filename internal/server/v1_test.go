@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
@@ -22,16 +23,23 @@ import (
 // manager, mirroring the production wiring of cmd/agmdp-serve.
 func newV1TestServer(t *testing.T) (*httptest.Server, *graphstore.Store) {
 	t.Helper()
+	store, err := graphstore.Open(graphstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newV1TestServerWith(t, store), store
+}
+
+// newV1TestServerWith builds the service around a caller-supplied graph
+// store (e.g. a persistent one reopened cold).
+func newV1TestServerWith(t *testing.T, store *graphstore.Store) *httptest.Server {
+	t.Helper()
 	reg, err := registry.Open(registry.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := engine.New(engine.Config{Workers: 2, Seed: 1, Acceptance: reg})
 	t.Cleanup(eng.Close)
-	store, err := graphstore.Open(graphstore.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
 	mgr, err := jobs.New(jobs.Options{Engine: eng, Store: store, Models: reg, SampleTimeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +58,7 @@ func newV1TestServer(t *testing.T) (*httptest.Server, *graphstore.Store) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return ts, store
+	return ts
 }
 
 // testUploadGraph builds a deterministic attributed graph for upload tests.
@@ -264,6 +272,69 @@ func TestGraphDownloadRoundTrip(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("get after delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestBinaryDownloadAndStatSkipDecode pins the O(header) serving invariant:
+// against a cold (restarted) persistent store, stat and binary download leave
+// the decoded-graph cache empty — the snapshot streams as-is — while the
+// reshaping formats decode on demand.
+func TestBinaryDownloadAndStatSkipDecode(t *testing.T) {
+	dir := t.TempDir()
+	seedStore, err := graphstore.Open(graphstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testUploadGraph(5)
+	id, err := seedStore.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStore.Close()
+	store, err := graphstore.Open(graphstore.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newV1TestServerWith(t, store)
+
+	resp, err := http.Get(ts.URL + "/v1/graphs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info graphstore.Info
+	decode(t, resp, &info)
+	if info.Nodes != g.NumNodes() || info.Edges != g.NumEdges() {
+		t.Fatalf("cold stat = %+v", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/graphs/" + id + "?format=binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(len(data)) {
+		t.Fatalf("Content-Length %s for %d body bytes", got, len(data))
+	}
+	back, err := graph.ReadBinary(bytes.NewReader(data))
+	if err != nil || !g.Equal(back) {
+		t.Fatalf("cold binary download does not round-trip: %v", err)
+	}
+	if n := store.DecodedLen(); n != 0 {
+		t.Fatalf("stat + binary download decoded %d graphs; want zero decode", n)
+	}
+
+	// A reshaping format decodes lazily, exactly once.
+	resp, err = http.Get(ts.URL + "/v1/graphs/" + id + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if n := store.DecodedLen(); n != 1 {
+		t.Fatalf("json download left %d decoded graphs, want 1", n)
 	}
 }
 

@@ -8,9 +8,12 @@ import (
 )
 
 // rewireProposal is one triangle-closing swap candidate produced by a
-// proposal worker against the frozen snapshot.
+// proposal worker against the frozen snapshot, carrying the snapshot's
+// common-neighbour count so the serial merge can usually skip re-running the
+// intersection on the live builder.
 type rewireProposal struct {
 	vi, vj int32
+	cn     int32 // snap.CommonNeighbors(vi, vj), computed in the worker
 }
 
 // rewireParallel is the batched, multi-stream variant of TriCycLe's rewiring
@@ -32,10 +35,18 @@ type rewireProposal struct {
 // The merge is conflict-detecting: a candidate touching a node already
 // involved in a swap applied earlier in the same batch is skipped, keeping
 // the applied swaps consistent with the snapshot the workers evaluated them
-// against. Accepted swaps recompute both common-neighbour counts on the live
-// builder, so the running triangle count stays exact and the accept rule
-// (cnNew ≥ cnOld against the current oldest edge) is identical to the
-// sequential loop's.
+// against. That same conflict check is what lets the merge trust each
+// worker's snapshot common-neighbour count: every builder mutation since the
+// freeze either has both endpoints in `touched` (applied swaps), is net-null
+// (rejected swaps restore the edge they removed), or is the in-flight oldest-
+// edge removal — so for a candidate that survives the check, row(vi) and
+// row(vj) still equal their snapshot rows unless the just-removed oldest edge
+// touches vi or vj, the one case where cnNew is recomputed on the live
+// builder. The accepted counts are therefore exactly the live values, the
+// running triangle count stays exact, and the accept rule (cnNew ≥ cnOld
+// against the current oldest edge) is identical to the sequential loop's —
+// while the O(degree) intersections run in the parallel workers instead of
+// the serial merge.
 func rewireParallel(rng *rand.Rand, b *graph.Builder, sampler *NodeSampler, filter EdgeFilter, target int64, proposalFactor, workers int) {
 	queue := newEdgeQueue(b)
 	tau := b.Triangles()
@@ -97,7 +108,12 @@ func rewireParallel(rng *rand.Rand, b *graph.Builder, sampler *NodeSampler, filt
 				}
 				cnOld := b.CommonNeighbors(oldest.U, oldest.V)
 				b.RemoveEdge(oldest.U, oldest.V)
-				cnNew := b.CommonNeighbors(vi, vj)
+				cnNew := int(c.cn)
+				if oldest.U == vi || oldest.U == vj || oldest.V == vi || oldest.V == vj {
+					// The removal just changed a row the snapshot count was
+					// computed from; this is the only case it can be stale.
+					cnNew = b.CommonNeighbors(vi, vj)
+				}
 				if cnNew >= cnOld {
 					b.AddEdge(vi, vj)
 					queue.push(graph.Edge{U: vi, V: vj})
@@ -136,7 +152,15 @@ func proposeRewires(rng *rand.Rand, snap *graph.Graph, sampler *NodeSampler, fil
 		if !acceptEdge(rng, filter, vi, vj) {
 			continue
 		}
-		out = append(out, rewireProposal{vi: int32(vi), vj: int32(vj)})
+		// The snapshot count is computed here, in parallel, after the filter
+		// roll so rng consumption is unchanged and rejected candidates pay
+		// nothing. The merge uses it directly unless a conflicting oldest-
+		// edge removal invalidates it.
+		out = append(out, rewireProposal{
+			vi: int32(vi),
+			vj: int32(vj),
+			cn: int32(snap.CommonNeighbors(vi, vj)),
+		})
 	}
 	return out
 }

@@ -18,6 +18,9 @@
 #                per-edge binary-search baseline
 #   PR 6 pairs — the metrics registry's lock-free atomic counter vs a
 #                mutex-guarded baseline (the instrumentation fast path)
+#   PR 7 pairs — the out-of-core graph store: warm (cached) vs cold
+#                (snapshot-decoding) Get, and zero-decode snapshot downloads
+#                vs the decode+re-encode baseline
 #
 # BENCH_PKGS overrides the benchmarked packages (the root package holds the
 # much slower paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
@@ -26,8 +29,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
-pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/}"
+out="${1:-BENCH_pr7.json}"
+pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/ ./internal/graphstore/}"
 benchtime="1s"
 if [ "${BENCH_SHORT:-0}" != "0" ]; then
   benchtime="100ms"
@@ -100,6 +103,13 @@ pairs = {
     # PR 6: the metrics registry's lock-free counter fast path vs a
     # mutex-guarded baseline.
     "atomic_counter_vs_mutex": ("BenchmarkMutexCounterInc", "BenchmarkCounterInc"),
+    # PR 7: the out-of-core graph store. Warm Gets serve the byte-budget
+    # cache; cold Gets decode the snapshot. Downloads stream snapshot bytes
+    # with zero decode vs the decode+re-encode baseline path.
+    "graphstore_get_warm_vs_cold": (
+        "BenchmarkGraphStoreGetCold", "BenchmarkGraphStoreGetWarm"),
+    "download_zero_decode_vs_reencode": (
+        "BenchmarkGraphDownloadReencode", "BenchmarkGraphDownloadZeroDecode"),
 }
 speedups = {}
 for key, (base, new) in pairs.items():
