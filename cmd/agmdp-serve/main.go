@@ -112,6 +112,7 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		maxJobSamples = fs.Int("max-job-samples", 0, "max samples per job (0 = default 1024)")
 		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
 		pprofFlag     = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator-facing listeners only)")
+		chunkRows     = fs.Int("stream-chunk-rows", 0, "rows per frame for chunked graph streaming (0 = default 32768)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -191,14 +192,15 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	defer jobMgr.Close()
 
 	srv, err := server.New(server.Config{
-		Registry:       reg,
-		Engine:         eng,
-		Graphs:         graphs,
-		Jobs:           jobMgr,
-		MaxJobSamples:  *maxJobSamples,
-		FitParallelism: *parallelism,
-		Logger:         logger,
-		Pprof:          *pprofFlag,
+		Registry:        reg,
+		Engine:          eng,
+		Graphs:          graphs,
+		Jobs:            jobMgr,
+		MaxJobSamples:   *maxJobSamples,
+		FitParallelism:  *parallelism,
+		Logger:          logger,
+		Pprof:           *pprofFlag,
+		StreamChunkRows: *chunkRows,
 	})
 	if err != nil {
 		return err

@@ -103,12 +103,16 @@ func LearnAttributesDPWith(rng *rand.Rand, g *graph.Graph, epsilon float64, work
 }
 
 // LearnCorrelationsDPWith is LearnCorrelationsDP with an explicit worker
-// count for the counting pass over the truncated graph (the truncation
-// operator µ(G, k) itself is order-dependent and stays sequential). The
-// Laplace draws stay sequential on rng, so the released estimate is
-// bit-identical to LearnCorrelationsDP for every worker count.
+// count for both the truncation µ(G, k) — graph.TruncateWith replays the
+// order-dependent deletions over just the heavy-incident edge subsequence,
+// bit-identical to the sequential operator — and the counting pass over the
+// truncated graph. The Laplace draws stay sequential on rng, so the released
+// estimate is bit-identical to LearnCorrelationsDP for every worker count.
 func LearnCorrelationsDPWith(rng *rand.Rand, g *graph.Graph, epsilon float64, k, workers int) []float64 {
-	return learnCorrelationsDP(rng, g, epsilon, k, func(truncated *graph.Graph) []float64 {
+	truncate := func(g *graph.Graph, k int) *graph.Graph {
+		return g.TruncateWith(k, workers)
+	}
+	return learnCorrelationsDP(rng, g, epsilon, k, truncate, func(truncated *graph.Graph) []float64 {
 		return EdgeConfigCountsWith(truncated, workers)
 	})
 }

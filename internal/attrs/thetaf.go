@@ -77,21 +77,21 @@ func clampNonNegative(noisy []float64) {
 // sensitivity 2k), and the noisy counts are clamped to be non-negative and
 // normalised into a distribution.
 func LearnCorrelationsDP(rng *rand.Rand, g *graph.Graph, epsilon float64, k int) []float64 {
-	return learnCorrelationsDP(rng, g, epsilon, k, EdgeConfigCounts)
+	return learnCorrelationsDP(rng, g, epsilon, k, (*graph.Graph).Truncate, EdgeConfigCounts)
 }
 
-// learnCorrelationsDP runs Algorithm 4 with a pluggable counting pass over
-// the truncated graph; the noise draws are sequential on rng, so the output
-// depends only on the counts and the rng state, not on how the counts were
-// accumulated (LearnCorrelationsDPWith shards the counting pass).
-func learnCorrelationsDP(rng *rand.Rand, g *graph.Graph, epsilon float64, k int, count func(*graph.Graph) []float64) []float64 {
+// learnCorrelationsDP runs Algorithm 4 with pluggable truncation and counting
+// passes; the noise draws are sequential on rng, so the output depends only
+// on the counts and the rng state, not on how truncation or counting were
+// executed (LearnCorrelationsDPWith shards both, bit-identically).
+func learnCorrelationsDP(rng *rand.Rand, g *graph.Graph, epsilon float64, k int, truncate func(*graph.Graph, int) *graph.Graph, count func(*graph.Graph) []float64) []float64 {
 	if epsilon <= 0 {
 		panic(fmt.Sprintf("attrs: non-positive epsilon %v", epsilon))
 	}
 	if k < 1 {
 		panic(fmt.Sprintf("attrs: truncation parameter k=%d must be at least 1", k))
 	}
-	counts := count(g.Truncate(k))
+	counts := count(truncate(g, k))
 	sensitivity := 2 * float64(k)
 	noisy := dp.LaplaceVector(rng, counts, sensitivity, epsilon)
 	clampNonNegative(noisy)

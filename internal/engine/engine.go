@@ -133,12 +133,13 @@ type job struct {
 	ctx    context.Context
 	req    Request
 	seed   int64 // resolved seed; 0 means "draw from worker stream"
+	stream bool  // return the generator's row source instead of a packed graph
 	result chan jobResult
 }
 
 type jobResult struct {
-	g    *graph.Graph
-	seed int64 // the seed that actually drove the draw
+	src  graph.RowSource // *graph.Graph unless the job asked to stream
+	seed int64           // the seed that actually drove the draw
 	err  error
 }
 
@@ -197,7 +198,13 @@ func (e *Engine) worker(index int) {
 		}
 		e.inFlight.Add(1)
 		start := time.Now()
-		g, err := e.sampleOnce(j.req, seed)
+		var src graph.RowSource
+		var err error
+		if j.stream {
+			src, err = e.sampleSource(j.req, seed)
+		} else {
+			src, err = e.sampleOnce(j.req, seed)
+		}
 		engineSampleDur.ObserveDuration(time.Since(start))
 		e.inFlight.Add(-1)
 		if err != nil {
@@ -207,7 +214,7 @@ func (e *Engine) worker(index int) {
 			e.completed.Add(1)
 			engineSamples.With("ok").Inc()
 		}
-		j.result <- jobResult{g: g, seed: seed, err: err}
+		j.result <- jobResult{src: src, seed: seed, err: err}
 	}
 }
 
@@ -228,6 +235,20 @@ type AcceptanceCache interface {
 
 // sampleOnce draws one synthetic graph with a concrete seed.
 func (e *Engine) sampleOnce(req Request, seed int64) (*graph.Graph, error) {
+	src, err := e.sampleSource(req, seed)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Materialize(src), nil
+}
+
+// sampleSource draws one synthetic graph with a concrete seed, returning the
+// sampler's streaming row-level view (the generator's builder with attributes
+// overlaid; see core.SampleSource). The rng trace is identical to sampleOnce's
+// — materialising the source reproduces sampleOnce byte for byte — so the
+// materialised and streamed paths share one determinism contract per (seed,
+// resolved parallelism), as well as the acceptance-table cache gating below.
+func (e *Engine) sampleSource(req Request, seed int64) (graph.RowSource, error) {
 	par := req.Parallelism
 	if par <= 0 {
 		par = e.cfg.Parallelism
@@ -253,9 +274,9 @@ func (e *Engine) sampleOnce(req Request, seed int64) (*graph.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.SampleWithTable(dp.NewRand(seed), req.Model, table, opts)
+		return core.SampleSourceWithTable(dp.NewRand(seed), req.Model, table, opts)
 	}
-	return core.Sample(dp.NewRand(seed), req.Model, opts)
+	return core.SampleSource(dp.NewRand(seed), req.Model, opts)
 }
 
 // acceptanceTable returns the model's fitted acceptance table, fitting and
@@ -316,10 +337,33 @@ func (e *Engine) Sample(ctx context.Context, req Request) (*graph.Graph, error) 
 // drawn from the executing worker's stream. Returning it is what keeps
 // auto-seeded samples reproducible after the fact.
 func (e *Engine) SampleSeeded(ctx context.Context, req Request) (*graph.Graph, int64, error) {
+	src, seed, err := e.run(ctx, req, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return src.(*graph.Graph), seed, nil
+}
+
+// SampleSourceSeeded is SampleSeeded returning the sampler's streaming
+// row-level view instead of a packed CSR graph: for the shipped structural
+// models the source is the generator's still-mutable builder with attributes
+// overlaid, so an encoder can serve sorted row ranges without the final
+// offsets/neighbors arrays ever being packed. The source is byte-identical
+// under graph.Materialize to the graph SampleSeeded returns for the same
+// (seed, resolved parallelism), and goes through the same queue, worker
+// streams and acceptance-table cache. The returned source is owned by the
+// caller; it is not shared with the engine after the call returns.
+func (e *Engine) SampleSourceSeeded(ctx context.Context, req Request) (graph.RowSource, int64, error) {
+	return e.run(ctx, req, true)
+}
+
+// run enqueues one job and blocks until it completes, the context is
+// cancelled, or the engine is closed.
+func (e *Engine) run(ctx context.Context, req Request, stream bool) (graph.RowSource, int64, error) {
 	if req.Model == nil {
 		return nil, 0, errors.New("engine: nil model in request")
 	}
-	j := &job{ctx: ctx, req: req, seed: req.Seed, result: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, req: req, seed: req.Seed, stream: stream, result: make(chan jobResult, 1)}
 
 	e.mu.RLock()
 	if e.closed {
@@ -336,7 +380,7 @@ func (e *Engine) SampleSeeded(ctx context.Context, req Request) (*graph.Graph, i
 
 	select {
 	case res := <-j.result:
-		return res.g, res.seed, res.err
+		return res.src, res.seed, res.err
 	case <-ctx.Done():
 		// The job may still run to completion on a worker; its result is
 		// discarded via the buffered channel.

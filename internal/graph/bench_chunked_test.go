@@ -1,0 +1,143 @@
+package graph_test
+
+// PR 8 benchmark pairs: the chunked wire codec against the monolithic binary
+// snapshot, and the serving stage of the streaming sampling pipeline —
+// encoding straight from the sampler's still-mutable builder — against the
+// materialised baseline that packs a CSR graph first and then encodes it.
+// The serve pair is where the O(shard) memory claim lives: the materialised
+// path allocates the full offsets/neighbors/attrs arrays per request, the
+// streamed path only the encoder's bounded buffers. scripts/bench.sh records
+// the ratios (time and allocated bytes) in BENCH_pr8.json.
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/structural"
+)
+
+// chunkedBenchRows keeps the 30k-node fixture multi-frame (8 frames) so the
+// decode benchmark exercises real frame boundaries, not one giant frame.
+const chunkedBenchRows = 4096
+
+var (
+	chunkedBenchOnce  sync.Once
+	chunkedBenchBytes []byte
+)
+
+// chunkedBenchFixture returns the io fixture graph and its chunked framing.
+func chunkedBenchFixture(tb testing.TB) (*graph.Graph, []byte) {
+	g, _, _ := ioBenchFixture(tb)
+	chunkedBenchOnce.Do(func() {
+		var buf bytes.Buffer
+		if err := graph.WriteBinaryChunked(&buf, g, chunkedBenchRows); err != nil {
+			panic(err)
+		}
+		chunkedBenchBytes = buf.Bytes()
+	})
+	return g, chunkedBenchBytes
+}
+
+var (
+	streamBenchOnce sync.Once
+	streamBenchSrc  graph.RowSource
+	streamBenchSize int64
+)
+
+// streamBenchFixture builds what the sampling pipeline hands the server: a
+// heavy-tailed Chung–Lu generation left unpacked in its builder, with the
+// sampled attribute vectors overlaid lazily.
+func streamBenchFixture(tb testing.TB) (graph.RowSource, int64) {
+	streamBenchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(6))
+		degs := benchDegrees(rng, ioBenchNodes, 400)
+		for i := range degs {
+			degs[i] += 6
+		}
+		b := structural.FCL{}.GenerateBuilder(rng, ioBenchNodes, structural.Params{Degrees: degs}, nil)
+		vecs := make([]graph.AttrVector, ioBenchNodes)
+		for i := range vecs {
+			vecs[i] = graph.AttrVector(rng.Uint64() & 3)
+		}
+		streamBenchSrc = graph.SourceWithAttributes(b, 2, vecs)
+		streamBenchSize = graph.SourceBinarySize(streamBenchSrc)
+	})
+	if streamBenchSrc.NumEdges() < 100_000 {
+		tb.Fatalf("stream bench fixture has only %d edges, want >= 100k", streamBenchSrc.NumEdges())
+	}
+	return streamBenchSrc, streamBenchSize
+}
+
+func BenchmarkWriteBinaryChunked(b *testing.B) {
+	g, framed := chunkedBenchFixture(b)
+	b.SetBytes(int64(len(framed)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graph.WriteBinaryChunked(io.Discard, g, chunkedBenchRows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinaryChunked(b *testing.B) {
+	_, framed := chunkedBenchFixture(b)
+	b.SetBytes(int64(len(framed)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.ReadBinaryChunked(bytes.NewReader(framed)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSampledMaterialized is the pre-PR-8 serving stage: pack the
+// sampled builder into a CSR graph, then encode the snapshot.
+func BenchmarkServeSampledMaterialized(b *testing.B) {
+	src, size := streamBenchFixture(b)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.Materialize(src)
+		if err := g.WriteBinary(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSampledStreamed is the streamed serving stage: encode the
+// monolithic snapshot straight from the builder, no packed arrays.
+func BenchmarkServeSampledStreamed(b *testing.B) {
+	src, size := streamBenchFixture(b)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graph.WriteBinaryTo(io.Discard, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSampledStreamedChunked streams the framed chunked wire format
+// straight from the builder — what POST /v1/sample?format=chunked runs. The
+// frame size is the -stream-chunk-rows knob; 4096 keeps the 30k-node fixture
+// multi-frame so the measured allocation is the O(frame) reuse buffer, not
+// the single-frame degenerate case.
+func BenchmarkServeSampledStreamedChunked(b *testing.B) {
+	src, size := streamBenchFixture(b)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graph.WriteBinaryChunked(io.Discard, src, chunkedBenchRows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

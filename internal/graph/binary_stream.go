@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// streamEncoder stages little-endian values in a bounded buffer in front of a
+// bufio.Writer, so per-entry encoding costs an array store instead of a
+// bufio call. Errors are sticky.
+type streamEncoder struct {
+	bw  *bufio.Writer
+	buf [8 * binaryChunkEntries]byte
+	n   int
+	err error
+}
+
+func (e *streamEncoder) flush() {
+	if e.err == nil && e.n > 0 {
+		_, e.err = e.bw.Write(e.buf[:e.n])
+	}
+	e.n = 0
+}
+
+func (e *streamEncoder) u64(v uint64) {
+	if e.n+8 > len(e.buf) {
+		e.flush()
+	}
+	binary.LittleEndian.PutUint64(e.buf[e.n:], v)
+	e.n += 8
+}
+
+func (e *streamEncoder) u32(v uint32) {
+	if e.n+4 > len(e.buf) {
+		e.flush()
+	}
+	binary.LittleEndian.PutUint32(e.buf[e.n:], v)
+	e.n += 4
+}
+
+// putBinaryHeader encodes the fixed monolithic snapshot header.
+func putBinaryHeader(hdr []byte, n, m, w int) {
+	copy(hdr[0:8], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], binaryVersion)
+	var flags uint32
+	if w > 0 {
+		flags |= flagAttrs
+	}
+	binary.LittleEndian.PutUint32(hdr[12:16], flags)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(w))
+	// hdr[20:24] is the reserved word, zero.
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(m))
+}
+
+// WriteBinaryTo writes the source's graph as a monolithic binary CSR snapshot
+// (the exact bytes Graph.WriteBinary emits for the materialised graph — the
+// format is canonical, so the two paths are byte-identical). Unlike
+// WriteBinary it never needs the concatenated CSR arrays: it makes three row
+// passes over the source (offsets, neighbour rows, attrs) holding only one
+// row plus a bounded staging buffer, which is what lets a sampled graph
+// stream from the generator's builder straight to the socket in O(row)
+// memory beyond the builder itself.
+func WriteBinaryTo(w io.Writer, src RowSource) error {
+	n, m, aw := src.NumNodes(), src.NumEdges(), src.NumAttributes()
+	checkDims(n, aw)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [binaryHeaderSize]byte
+	putBinaryHeader(hdr[:], n, m, aw)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graph: writing binary header: %w", err)
+	}
+	enc := &streamEncoder{bw: bw}
+	var off int64
+	enc.u64(0)
+	for u := 0; u < n; u++ {
+		off += int64(src.RowDegree(u))
+		enc.u64(uint64(off))
+	}
+	if off != int64(2*m) {
+		return fmt.Errorf("graph: row source degrees sum to %d, want %d (= 2m)", off, 2*m)
+	}
+	row := make([]int32, 0, binaryChunkEntries)
+	for u := 0; u < n; u++ {
+		row = src.AppendRow(row[:0], u)
+		for _, v := range row {
+			enc.u32(uint32(v))
+		}
+	}
+	if aw > 0 {
+		for u := 0; u < n; u++ {
+			enc.u64(uint64(src.RowAttr(u)))
+		}
+	}
+	enc.flush()
+	if enc.err != nil {
+		return fmt.Errorf("graph: writing binary snapshot: %w", enc.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: writing binary snapshot: %w", err)
+	}
+	return nil
+}

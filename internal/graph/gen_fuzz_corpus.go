@@ -1,0 +1,63 @@
+//go:build ignore
+
+// Generates the committed seed corpus for FuzzChunkReader under
+// testdata/fuzz/FuzzChunkReader/: valid chunked snapshots at several frame
+// sizes, a corrupted-payload variant, a truncated stream, and the bare
+// magic. Run from the repository root:
+//
+//	go run internal/graph/gen_fuzz_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"agmdp/internal/graph"
+)
+
+func main() {
+	dir := filepath.Join("internal", "graph", "testdata", "fuzz", "FuzzChunkReader")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	n := 16
+	b := graph.NewBuilder(n, 2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.3 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.SetAttr(i, graph.AttrVector(rng.Intn(4)))
+	}
+	g := b.Finalize()
+
+	var seeds [][]byte
+	for _, chunkRows := range []int{1, 4, 0} {
+		var buf bytes.Buffer
+		if err := graph.WriteBinaryChunked(&buf, g, chunkRows); err != nil {
+			log.Fatal(err)
+		}
+		seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+	}
+	// Corrupted payload byte (fails the CRC trailer) and a truncated stream.
+	corrupt := append([]byte(nil), seeds[1]...)
+	corrupt[len(corrupt)/2] ^= 0x1f
+	seeds = append(seeds, corrupt, seeds[0][:len(seeds[0])-9], []byte("AGMDPCSC"))
+
+	for i, data := range seeds {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+}

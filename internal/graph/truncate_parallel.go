@@ -1,0 +1,122 @@
+package graph
+
+import "agmdp/internal/parallel"
+
+// TruncateWith is Truncate with an explicit worker count (≤ 0 selects the
+// process default), bit-identical to the sequential operator for every worker
+// count.
+//
+// µ(G, k) looks inherently sequential — each deletion decision reads the
+// running degrees left by every earlier deletion — but the order dependence
+// is confined to a usually-small subset of edges. A node whose initial degree
+// is at most k ("light") can never trigger a deletion: running degrees only
+// decrease, so a light endpoint's degree stays ≤ k for the whole pass. An
+// edge between two light nodes is therefore always kept, and processing it
+// changes nothing. Every deletion decision — and every decrement feeding
+// later decisions — happens at the edges incident to an initially-heavy
+// node, in their canonical order. That yields a two-pass scheme:
+//
+//  1. a parallel pass over degree-weighted row shards collects the
+//     heavy-incident edges; concatenating the shard lists in shard order
+//     preserves the canonical (min, max)-sorted order, because shards are
+//     contiguous row ranges;
+//  2. a sequential replay of Definition 2 over just that subsequence decides
+//     the deletions (exactly the decisions the full sequential pass makes);
+//  3. a parallel pass packs the surviving rows into the output CSR, each
+//     shard writing its disjoint row range.
+//
+// The replay is O(heavy-incident edges); on graphs where the k-bounded
+// assumption roughly holds — the regime restricted sensitivity targets —
+// that is a small fraction of m, and the two O(m) passes parallelise.
+func (g *Graph) TruncateWith(k, workers int) *Graph {
+	if k < 0 {
+		panic("graph: negative truncation parameter")
+	}
+	workers = parallel.Resolve(workers)
+	if workers <= 1 || g.m < minShardEdges {
+		return g.Truncate(k)
+	}
+	n := len(g.attrs)
+	degs := g.DegreesWith(workers)
+
+	// Pass 1: collect heavy-incident edges in canonical order, sharded.
+	shards := parallel.SplitWeighted(g.offsets, workers)
+	lists := make([][]Edge, len(shards))
+	parallel.Do(len(shards), func(s int) {
+		r := shards[s]
+		var list []Edge
+		for u := r.Lo; u < r.Hi; u++ {
+			if degs[u] > k {
+				for _, v32 := range g.row(u) {
+					if v := int(v32); v > u {
+						list = append(list, Edge{U: u, V: v})
+					}
+				}
+				continue
+			}
+			for _, v32 := range g.row(u) {
+				if v := int(v32); v > u && degs[v] > k {
+					list = append(list, Edge{U: u, V: v})
+				}
+			}
+		}
+		lists[s] = list
+	})
+
+	// Pass 2: sequential replay of the deletion rule over the subsequence.
+	// degs becomes the running-degree array; at the end it holds the output
+	// degrees (kept edges never decrement anything).
+	var deleted map[int64]struct{}
+	removed := 0
+	for _, list := range lists {
+		for _, e := range list {
+			if degs[e.U] > k || degs[e.V] > k {
+				if deleted == nil {
+					deleted = make(map[int64]struct{})
+				}
+				deleted[int64(e.U)<<32|int64(e.V)] = struct{}{}
+				degs[e.U]--
+				degs[e.V]--
+				removed++
+			}
+		}
+	}
+	if removed == 0 {
+		return g.Clone()
+	}
+
+	// Pass 3: pack the surviving rows. Filtering a sorted row preserves its
+	// order, so the result matches the sequential operator's canonical
+	// re-pack array for array. Shards write disjoint row ranges; the deleted
+	// set is read-only here, so sharing it across workers is safe.
+	out := &Graph{
+		w:       g.w,
+		m:       g.m - removed,
+		offsets: make([]int64, n+1),
+		attrs:   make([]AttrVector, n),
+	}
+	copy(out.attrs, g.attrs)
+	for i, d := range degs {
+		out.offsets[i+1] = out.offsets[i] + int64(d)
+	}
+	out.neighbors = make([]int32, out.offsets[n])
+	parallel.Do(len(shards), func(s int) {
+		r := shards[s]
+		for u := r.Lo; u < r.Hi; u++ {
+			p := out.offsets[u]
+			for _, v32 := range g.row(u) {
+				v := int(v32)
+				key := int64(u)<<32 | int64(v)
+				if v < u {
+					key = int64(v)<<32 | int64(u)
+				}
+				if _, gone := deleted[key]; gone {
+					continue
+				}
+				out.neighbors[p] = v32
+				p++
+			}
+		}
+	})
+	return out
+}

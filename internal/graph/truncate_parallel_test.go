@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// skewedGraph builds a graph with deliberate hubs (nodes 0..hubs-1 connect
+// widely) over random background edges, so truncation at moderate k has both
+// heavy and light nodes and cascading deletions to replay.
+func skewedGraph(rng *rand.Rand, n, hubs int, bg float64, w int) *Graph {
+	b := NewBuilder(n, w)
+	for h := 0; h < hubs; h++ {
+		for v := hubs; v < n; v++ {
+			if rng.Float64() < 0.6 {
+				b.AddEdge(h, v)
+			}
+		}
+	}
+	target := int(bg * float64(n))
+	for i := 0; i < target; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	for i := 0; i < n; i++ {
+		b.SetAttr(i, AttrVector(rng.Uint64()))
+	}
+	return b.Finalize()
+}
+
+// identicalGraphs compares the raw CSR arrays — stronger than Equal in spirit:
+// the parallel truncation must reproduce the sequential operator's exact
+// representation, not just an equivalent graph.
+func identicalGraphs(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.w != got.w || want.m != got.m || len(want.offsets) != len(got.offsets) ||
+		len(want.neighbors) != len(got.neighbors) || len(want.attrs) != len(got.attrs) {
+		t.Fatalf("shape differs: want (w=%d m=%d n=%d), got (w=%d m=%d n=%d)",
+			want.w, want.m, len(want.attrs), got.w, got.m, len(got.attrs))
+	}
+	for i := range want.offsets {
+		if want.offsets[i] != got.offsets[i] {
+			t.Fatalf("offsets differ at %d: %d vs %d", i, want.offsets[i], got.offsets[i])
+		}
+	}
+	for i := range want.neighbors {
+		if want.neighbors[i] != got.neighbors[i] {
+			t.Fatalf("neighbors differ at %d: %d vs %d", i, want.neighbors[i], got.neighbors[i])
+		}
+	}
+	for i := range want.attrs {
+		if want.attrs[i] != got.attrs[i] {
+			t.Fatalf("attrs differ at %d", i)
+		}
+	}
+}
+
+// TestTruncateWithMatchesSequential is the seq-vs-parallel equivalence
+// property test: for skewed random graphs above the sharding threshold,
+// TruncateWith must be bit-identical to Truncate for every worker count and
+// truncation parameter, including k values that cascade deletions through
+// hub neighbourhoods.
+func TestTruncateWithMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 6; trial++ {
+		g := skewedGraph(rng, 400+rng.Intn(200), 4+rng.Intn(6), 8, 3)
+		if g.m < minShardEdges {
+			t.Fatalf("trial %d: fixture too small to exercise the parallel path (m=%d)", trial, g.m)
+		}
+		for _, k := range []int{0, 1, 2, 5, 17, 64, g.MaxDegree(), g.MaxDegree() + 1} {
+			want := g.Truncate(k)
+			for _, workers := range []int{1, 2, 3, 4, 7, 8} {
+				got := g.TruncateWith(k, workers)
+				identicalGraphs(t, want, got)
+			}
+		}
+	}
+}
+
+// TestTruncateWithSmallFallsBack checks the sequential fallback below the
+// sharding threshold still matches.
+func TestTruncateWithSmallFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 60, 0.2, 2)
+	for _, k := range []int{0, 1, 3, 10} {
+		identicalGraphs(t, g.Truncate(k), g.TruncateWith(k, 8))
+	}
+}
+
+// TestTruncateWithDoesNotMutateInput guards the immutability contract on the
+// parallel path.
+func TestTruncateWithDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := skewedGraph(rng, 400, 6, 8, 2)
+	before := append([]int32(nil), g.neighbors...)
+	g.TruncateWith(2, 4)
+	for i := range before {
+		if g.neighbors[i] != before[i] {
+			t.Fatal("TruncateWith mutated the input graph")
+		}
+	}
+}

@@ -316,6 +316,87 @@ func (s *Store) Put(g *graph.Graph) (string, error) {
 	return id, nil
 }
 
+// PutSource stores the graph a streaming row source describes and returns
+// its content-addressed ID — the same ID Put assigns to the materialised
+// graph, because the monolithic encoding is canonical and WriteBinaryTo is
+// byte-identical to WriteBinary. A *graph.Graph source delegates to Put (which
+// also admits the decoded graph). Any other source — typically a sampler's
+// builder — is encoded incrementally: with persistence enabled the snapshot
+// streams straight to a temp file while being hashed, so store-back of a
+// sampled graph never materialises the packed CSR arrays or a whole-snapshot
+// encode buffer; the first Get decodes lazily from the file like any other
+// cold entry. Without a directory the snapshot must live on the heap anyway,
+// so the source is encoded into a single buffer that becomes the entry's
+// backing store.
+func (s *Store) PutSource(src graph.RowSource) (string, error) {
+	if g, ok := src.(*graph.Graph); ok {
+		return s.Put(g)
+	}
+	stat := graph.SnapshotStat{
+		Nodes:      src.NumNodes(),
+		Edges:      src.NumEdges(),
+		Attributes: src.NumAttributes(),
+		Size:       graph.SourceBinarySize(src),
+	}
+	if s.dir != "" {
+		return s.putSourceFile(src, stat)
+	}
+	var buf bytes.Buffer
+	buf.Grow(int(stat.Size))
+	if err := graph.WriteBinaryTo(&buf, src); err != nil {
+		return "", fmt.Errorf("graphstore: encoding graph: %w", err)
+	}
+	data := buf.Bytes()
+	id := IDFromBytes(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; ok {
+		return id, nil
+	}
+	s.insertLocked(id, &snap{size: int64(len(data)), data: data}, stat, s.clock())
+	for s.max > 0 && len(s.order) > s.max {
+		s.evictLocked(s.order[0])
+	}
+	return id, nil
+}
+
+// putSourceFile streams a row source's snapshot into the store directory:
+// encode to a temp file and the content hash in one pass, then rename to the
+// content-addressed name under the store lock (discarding the temp copy if a
+// concurrent put of the same graph won the race). Peak heap is the encoder's
+// bounded staging buffer, independent of graph size.
+func (s *Store) putSourceFile(src graph.RowSource, stat graph.SnapshotStat) (string, error) {
+	tmp, err := os.CreateTemp(s.dir, "src.tmp*")
+	if err != nil {
+		return "", fmt.Errorf("graphstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once the file is renamed into place
+	h := sha256.New()
+	if err := graph.WriteBinaryTo(io.MultiWriter(tmp, h), src); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("graphstore: encoding graph: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("graphstore: %w", err)
+	}
+	id := hex.EncodeToString(h.Sum(nil)[:16])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; ok {
+		return id, nil
+	}
+	final := filepath.Join(s.dir, id+".csr")
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("graphstore: %w", err)
+	}
+	s.insertLocked(id, openFileSnap(final, stat.Size), stat, s.clock())
+	for s.max > 0 && len(s.order) > s.max {
+		s.evictLocked(s.order[0])
+	}
+	return id, nil
+}
+
 // openFileSnap wraps a freshly persisted (already content-verified) snapshot
 // file: memory-mapped where supported, plain file-backed otherwise.
 func openFileSnap(path string, size int64) *snap {
@@ -508,6 +589,22 @@ func (s *Store) WriteSnapshot(id string, w io.Writer) error {
 		return ErrNotFound
 	}
 	return e.snap.writeTo(w)
+}
+
+// WriteSnapshotChunked streams a stored graph to w in the framed chunked wire
+// format (graph.WriteBinaryChunked) with zero CSR decode: the monolithic
+// snapshot bytes are re-framed by raw range copies (graph.TranscodeChunked),
+// straight from the memory map where available, via positioned file reads
+// otherwise. Like WriteSnapshot, the snapshot stays valid for the duration of
+// the write even if the entry is concurrently evicted.
+func (s *Store) WriteSnapshotChunked(id string, w io.Writer, chunkRows int) error {
+	s.mu.RLock()
+	e, ok := s.entries[id]
+	s.mu.RUnlock()
+	if !ok {
+		return ErrNotFound
+	}
+	return e.snap.transcodeChunked(w, chunkRows)
 }
 
 // Stat returns the listing metadata of one stored graph.

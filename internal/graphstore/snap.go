@@ -2,6 +2,7 @@ package graphstore
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -126,6 +127,26 @@ func (sn *snap) writeTo(w io.Writer) error {
 	defer f.Close()
 	_, err = io.Copy(w, bufio.NewReaderSize(f, 1<<16))
 	return err
+}
+
+// transcodeChunked streams the snapshot to w re-framed in the chunked wire
+// format, without decoding CSR arrays: ranged reads over the mapped or heap
+// bytes, or positioned file reads for file-backed snapshots.
+func (sn *snap) transcodeChunked(w io.Writer, chunkRows int) error {
+	data, err := sn.acquire()
+	if err != nil {
+		return err
+	}
+	if data != nil {
+		defer sn.release()
+		return graph.TranscodeChunked(w, bytes.NewReader(data), int64(len(data)), chunkRows)
+	}
+	f, err := os.Open(sn.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.TranscodeChunked(w, f, sn.size, chunkRows)
 }
 
 // readAll returns a fresh heap copy of the snapshot bytes.

@@ -42,6 +42,7 @@ import (
 
 	"agmdp/internal/core"
 	"agmdp/internal/engine"
+	"agmdp/internal/graph"
 	"agmdp/internal/graphstore"
 	"agmdp/internal/obs"
 )
@@ -461,7 +462,7 @@ func (m *Manager) runSample(ctx context.Context, j *job, i int) {
 		seed = j.spec.Seed + int64(i)
 	}
 	start := time.Now()
-	g, usedSeed, err := m.opts.Engine.SampleSeeded(sctx, engine.Request{
+	src, usedSeed, err := m.opts.Engine.SampleSourceSeeded(sctx, engine.Request{
 		Model:       j.spec.Model,
 		Seed:        seed,
 		Iterations:  j.spec.Iterations,
@@ -473,8 +474,13 @@ func (m *Manager) runSample(ctx context.Context, j *job, i int) {
 	res := SampleResult{Index: i, Seed: usedSeed}
 	var stored bool
 	if err == nil && j.spec.Store {
+		// Store straight from the sampler's row source: the snapshot is
+		// encoded incrementally (streamed to the store file while hashed), so
+		// store-back never builds a whole-snapshot buffer. The content ID is
+		// the same the materialised graph would get — the encoding is
+		// canonical.
 		start = time.Now()
-		res.GraphID, err = m.opts.Store.Put(g)
+		res.GraphID, err = m.opts.Store.PutSource(src)
 		recordStage(j, KindSample, "store", time.Since(start))
 		stored = err == nil
 	}
@@ -482,6 +488,7 @@ func (m *Manager) runSample(ctx context.Context, j *job, i int) {
 		res.Error = err.Error()
 	} else {
 		start = time.Now()
+		g := graph.Materialize(src)
 		res.Nodes = g.NumNodes()
 		res.Edges = g.NumEdges()
 		res.Triangles = g.Triangles()

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strings"
@@ -90,6 +91,11 @@ type Config struct {
 	// profiling handlers expose stack traces and timings — enable them on
 	// operator-facing listeners only.
 	Pprof bool
+	// StreamChunkRows is the row-range frame size (rows per frame) used by the
+	// chunked wire format on downloads and streamed samples; ≤ 0 selects
+	// graph.DefaultChunkRows. Chunk size is a serving knob, not part of a
+	// graph's identity: any value decodes to the same graph.
+	StreamChunkRows int
 }
 
 // Server handles the synthesis-service HTTP API.
@@ -241,6 +247,34 @@ func abortOnStreamError(what string, err error) {
 		slog.Error("server: streaming response failed", "what", what, "error", err)
 		panic(http.ErrAbortHandler)
 	}
+}
+
+// contentTypeChunked names the framed chunked CSR wire format
+// (graph.WriteBinaryChunked) in Content-Type negotiation, both on uploads and
+// on downloads/streamed samples.
+const contentTypeChunked = "application/x-agmdp-csr-chunked"
+
+// flushWriter pushes every Write through to the client immediately when the
+// ResponseWriter supports flushing. The chunked encoder issues exactly one
+// Write per frame, so wrapping it in a flushWriter gives frame-granular
+// delivery: the client sees row ranges as they are encoded, and the server
+// never buffers more than one frame.
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func newFlushWriter(w http.ResponseWriter) flushWriter {
+	f, _ := w.(http.Flusher)
+	return flushWriter{w: w, f: f}
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if err == nil && fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
 }
 
 // writeError writes a JSON error body.
@@ -599,13 +633,18 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 
 // sampleRequest is the POST /sample body. Format selects the response shape:
 // "json" (default) inlines the graph as a graphPayload; "text" streams the
-// agmdp graph text format; "binary" streams the binary CSR snapshot (both
-// deterministic and byte-identical for equal seeds); "summary" returns
-// statistics only. Store stores the sampled graph into the graph store and
-// returns its ID with the summary instead of inlining the graph (JSON
-// formats only). Parallelism overrides the engine's intra-job stream count
-// for this sample (0 = engine default, 1 = sequential); seeded samples
-// reproduce only at equal parallelism.
+// agmdp graph text format; "binary" streams the binary CSR snapshot
+// (deterministic and byte-identical for equal seeds — it is encoded straight
+// from the sampler's row source, never materialising the packed CSR arrays);
+// "chunked" streams the framed chunked CSR wire format with one flush per
+// row-range frame, so a client can decode rows while the tail is still being
+// generated; "summary" returns statistics only. The format may equivalently
+// be passed as a ?format= query parameter (the body field wins when both are
+// set). Store stores the sampled graph into the graph store and returns its
+// ID with the summary instead of inlining the graph (JSON formats only).
+// Parallelism overrides the engine's intra-job stream count for this sample
+// (0 = engine default, 1 = sequential); seeded samples reproduce only at
+// equal parallelism.
 type sampleRequest struct {
 	ID          string `json:"id"`
 	Seed        int64  `json:"seed,omitempty"`
@@ -636,13 +675,16 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding sample request: %v", err)
 		return
 	}
+	if req.Format == "" {
+		req.Format = r.URL.Query().Get("format")
+	}
 	switch req.Format {
-	case "", "json", "text", "binary", "summary":
+	case "", "json", "text", "binary", "chunked", "summary":
 	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text, binary or summary)", req.Format)
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text, binary, chunked or summary)", req.Format)
 		return
 	}
-	if req.Store && (req.Format == "text" || req.Format == "binary") {
+	if req.Store && (req.Format == "text" || req.Format == "binary" || req.Format == "chunked") {
 		writeError(w, http.StatusBadRequest, "store returns a JSON summary; it cannot be combined with format %q", req.Format)
 		return
 	}
@@ -658,7 +700,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "negative parallelism %d", req.Parallelism)
 		return
 	}
-	g, seed, err := s.cfg.Engine.SampleSeeded(ctx, engine.Request{
+	ereq := engine.Request{
 		Model:       m,
 		Seed:        req.Seed,
 		Iterations:  req.Iterations,
@@ -666,28 +708,41 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		Parallelism: req.Parallelism,
 		// The registry ID keys the engine's acceptance-table cache.
 		CacheKey: req.ID,
-	})
-	switch {
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "sampling timed out: %v", err)
-		return
-	case errors.Is(err, engine.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "engine shutting down")
-		return
-	case err != nil:
-		writeError(w, http.StatusUnprocessableEntity, "sampling failed: %v", err)
+	}
+
+	// The binary formats encode straight from the sampler's row source (the
+	// generator's builder): the packed offsets/neighbors arrays are never
+	// materialised, the encoders hold one row range at a time, and — for the
+	// chunked format — each frame is flushed to the client as it is encoded.
+	// Memory beyond the builder itself stays O(frame) from sampler to socket.
+	// The bytes are identical to encoding the materialised graph, because the
+	// monolithic format is canonical and the chunked frames carry the same
+	// row data.
+	if req.Format == "binary" || req.Format == "chunked" {
+		src, _, err := s.cfg.Engine.SampleSourceSeeded(ctx, ereq)
+		if !s.checkSampleError(w, err) {
+			return
+		}
+		if req.Format == "binary" {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", fmt.Sprint(graph.SourceBinarySize(src)))
+			abortOnStreamError("sampled graph snapshot", graph.WriteBinaryTo(w, src))
+			return
+		}
+		w.Header().Set("Content-Type", contentTypeChunked)
+		abortOnStreamError("sampled graph chunked stream",
+			graph.WriteBinaryChunked(newFlushWriter(w), src, s.cfg.StreamChunkRows))
 		return
 	}
 
-	switch req.Format {
-	case "text":
+	g, seed, err := s.cfg.Engine.SampleSeeded(ctx, ereq)
+	if !s.checkSampleError(w, err) {
+		return
+	}
+
+	if req.Format == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		abortOnStreamError("sampled graph text", g.WriteGraph(w))
-		return
-	case "binary":
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Length", fmt.Sprint(g.BinarySize()))
-		abortOnStreamError("sampled graph snapshot", g.WriteBinary(w))
 		return
 	}
 	resp := sampleResponse{
@@ -708,4 +763,21 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		resp.Graph = payloadFromGraph(g)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkSampleError maps an engine sampling error to its HTTP response,
+// reporting whether the handler may proceed with a success body.
+func (s *Server) checkSampleError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "sampling timed out: %v", err)
+		return false
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "engine shutting down")
+		return false
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, "sampling failed: %v", err)
+		return false
+	}
+	return true
 }

@@ -78,9 +78,18 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "parsing binary snapshot: %v", err)
 			return
 		}
+	case contentTypeChunked:
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var err error
+		g, err = graph.ReadBinaryChunked(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing chunked snapshot: %v", err)
+			return
+		}
 	default:
 		writeError(w, http.StatusUnsupportedMediaType,
-			"unsupported Content-Type %q (want application/json, text/plain or application/octet-stream)", mediaType)
+			"unsupported Content-Type %q (want application/json, text/plain, application/octet-stream or %s)",
+			mediaType, contentTypeChunked)
 		return
 	}
 	if err := s.checkGraphLimits(g); err != nil {
@@ -103,18 +112,19 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 // handleGetGraph stats a stored graph, or downloads it when ?format= names a
 // wire format: "json" inlines the graphPayload, "text" streams the agmdp
-// text form, "binary" the canonical CSR snapshot. The stat and binary paths
-// never materialize the decoded graph — metadata comes from the store's
-// header index and the snapshot streams straight from its bytes (memory map
-// or chunked file read) with zero CSR decode — so downloading an idle graph
-// keeps its residency at O(header).
+// text form, "binary" the canonical CSR snapshot, "chunked" the framed
+// chunked wire format with one flush per row-range frame. The stat, binary
+// and chunked paths never materialize the decoded graph — metadata comes
+// from the store's header index and the snapshot streams straight from its
+// bytes (memory map or positioned file reads) with zero CSR decode — so
+// downloading an idle graph keeps its residency at O(header).
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	format := r.URL.Query().Get("format")
 	switch format {
-	case "", "json", "text", "binary":
+	case "", "json", "text", "binary", "chunked":
 	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text or binary)", format)
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, text, binary or chunked)", format)
 		return
 	}
 	info, ok := s.cfg.Graphs.Stat(id)
@@ -135,6 +145,14 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		abortOnStreamError("stored graph snapshot", err)
+	case "chunked":
+		w.Header().Set("Content-Type", contentTypeChunked)
+		err := s.cfg.Graphs.WriteSnapshotChunked(id, newFlushWriter(w), s.cfg.StreamChunkRows)
+		if err == graphstore.ErrNotFound {
+			writeError(w, http.StatusNotFound, "no graph %q", id)
+			return
+		}
+		abortOnStreamError("stored graph chunked stream", err)
 	default:
 		// json and text re-shape the graph, so these formats do decode (via
 		// the store's byte-budget cache).

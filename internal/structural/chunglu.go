@@ -33,12 +33,18 @@ func (FCL) Name() string { return "FCL" }
 // Generate implements Model by delegating to GenerateCL (or its parallel
 // variant) with the full target edge count.
 func (f FCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
+	return f.GenerateBuilder(rng, n, params, filter).Finalize()
+}
+
+// GenerateBuilder implements StreamModel: the Chung–Lu proposal loop with the
+// final freeze left to the caller.
+func (f FCL) GenerateBuilder(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Builder {
 	if err := params.Validate(n); err != nil {
 		panic(err)
 	}
 	sampler := NewNodeSampler(params.Degrees, nil)
 	target := sumDegrees(params.Degrees) / 2
-	return GenerateCLParallel(rng, n, sampler, target, filter, f.Parallelism)
+	return generateCLParallelBuilder(rng, n, sampler, target, filter, f.Parallelism)
 }
 
 // GenerateCL samples a Chung–Lu graph with the given number of edges over n

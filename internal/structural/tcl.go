@@ -21,7 +21,13 @@ func (TCL) Name() string { return "TCL" }
 
 // Generate implements Model. params.Rho is the transitive closure
 // probability; params.Degrees the target degree sequence.
-func (TCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
+func (t TCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
+	return t.GenerateBuilder(rng, n, params, filter).Finalize()
+}
+
+// GenerateBuilder implements StreamModel: the TCL seed-and-replace loop with
+// the final freeze left to the caller.
+func (TCL) GenerateBuilder(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Builder {
 	if err := params.Validate(n); err != nil {
 		panic(err)
 	}
@@ -29,7 +35,7 @@ func (TCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *gr
 	target := sumDegrees(params.Degrees) / 2
 	b := generateCLBuilder(rng, n, sampler, target, filter)
 	if b.NumEdges() == 0 {
-		return b.Finalize()
+		return b
 	}
 
 	// FIFO of edges in insertion order; the head is the oldest edge.
@@ -62,7 +68,7 @@ func (TCL) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *gr
 		queue.push(graph.Edge{U: vi, V: vj})
 		done++
 	}
-	return b.Finalize()
+	return b
 }
 
 // adjacency is the read surface the two-hop sampler needs; both the mutable

@@ -58,6 +58,13 @@ func (t TriCycLe) Name() string { return "TriCycLe" }
 // Generate implements Model. params.Degrees is the target degree sequence
 // assigned positionally to nodes, params.Triangles the target triangle count.
 func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Graph {
+	return t.GenerateBuilder(rng, n, params, filter).Finalize()
+}
+
+// GenerateBuilder implements StreamModel: the full TriCycLe pipeline — seed,
+// orphan post-processing, triangle rewiring, second post-processing — with the
+// final freeze left to the caller.
+func (t TriCycLe) GenerateBuilder(rng *rand.Rand, n int, params Params, filter EdgeFilter) *graph.Builder {
 	if err := params.Validate(n); err != nil {
 		panic(err)
 	}
@@ -96,7 +103,7 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 	}
 	tricycleSeedDur.ObserveDuration(time.Since(seedStart))
 	if b.NumEdges() == 0 || sampler.Empty() {
-		return b.Finalize()
+		return b
 	}
 
 	rewireStart := time.Now()
@@ -110,7 +117,7 @@ func (t TriCycLe) Generate(rng *rand.Rand, n int, params Params, filter EdgeFilt
 	if postProcess {
 		PostProcessGraph(rng, b, sampler, degrees, filter)
 	}
-	return b.Finalize()
+	return b
 }
 
 // rewireSequential is the paper's single-stream rewiring loop (Algorithm 1,

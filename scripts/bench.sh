@@ -21,6 +21,12 @@
 #   PR 7 pairs — the out-of-core graph store: warm (cached) vs cold
 #                (snapshot-decoding) Get, and zero-decode snapshot downloads
 #                vs the decode+re-encode baseline
+#   PR 8 pairs — the streaming synthesis pipeline: serving a sampled graph
+#                straight from the sampler's builder (monolithic and chunked
+#                wire formats) vs materialising the CSR arrays first, plus the
+#                chunked codec vs the monolithic snapshot codec; the serve
+#                pairs additionally record allocated-bytes reductions
+#                (alloc_reductions), the O(shard)-memory claim
 #
 # BENCH_PKGS overrides the benchmarked packages (the root package holds the
 # much slower paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
@@ -29,7 +35,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/ ./internal/graphstore/}"
 benchtime="1s"
 if [ "${BENCH_SHORT:-0}" != "0" ]; then
@@ -51,6 +57,7 @@ raw_path, out_path = sys.argv[1], sys.argv[2]
 benches = []
 pattern = re.compile(
     r"^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) MB/s)?"
     r"(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?"
 )
 for line in open(raw_path):
@@ -63,8 +70,10 @@ for line in open(raw_path):
         "ns_per_op": float(m.group(3)),
     }
     if m.group(4) is not None:
-        entry["bytes_per_op"] = float(m.group(4))
-        entry["allocs_per_op"] = int(m.group(5))
+        entry["mb_per_s"] = float(m.group(4))
+    if m.group(5) is not None:
+        entry["bytes_per_op"] = float(m.group(5))
+        entry["allocs_per_op"] = int(m.group(6))
     benches.append(entry)
 
 by_name = {b["name"].split("-")[0]: b for b in benches}
@@ -110,12 +119,43 @@ pairs = {
         "BenchmarkGraphStoreGetCold", "BenchmarkGraphStoreGetWarm"),
     "download_zero_decode_vs_reencode": (
         "BenchmarkGraphDownloadReencode", "BenchmarkGraphDownloadZeroDecode"),
+    # PR 8: the streaming synthesis pipeline's serving stage — encode the
+    # sampled graph straight from the sampler's builder vs pack the CSR
+    # arrays first — and the chunked wire codec vs the monolithic snapshot.
+    "serve_sampled_streamed_vs_materialized": (
+        "BenchmarkServeSampledMaterialized", "BenchmarkServeSampledStreamed"),
+    "serve_sampled_chunked_vs_materialized": (
+        "BenchmarkServeSampledMaterialized", "BenchmarkServeSampledStreamedChunked"),
+    "write_chunked_vs_monolithic": (
+        "BenchmarkWriteGraphBinary", "BenchmarkWriteBinaryChunked"),
+    "read_chunked_vs_monolithic": (
+        "BenchmarkReadGraphBinary", "BenchmarkReadBinaryChunked"),
 }
 speedups = {}
 for key, (base, new) in pairs.items():
     s = speedup(base, new)
     if s is not None:
         speedups[key] = s
+
+# Allocated-bytes reductions for the PR 8 serve pairs: the streamed pipeline's
+# memory claim is about bytes allocated per served sample, not wall time.
+def alloc_reduction(base, new):
+    b, n = by_name.get(base), by_name.get(new)
+    if not b or not n or "bytes_per_op" not in b or not n.get("bytes_per_op"):
+        return None
+    return round(b["bytes_per_op"] / n["bytes_per_op"], 2)
+
+alloc_pairs = {
+    "serve_sampled_streamed_vs_materialized": (
+        "BenchmarkServeSampledMaterialized", "BenchmarkServeSampledStreamed"),
+    "serve_sampled_chunked_vs_materialized": (
+        "BenchmarkServeSampledMaterialized", "BenchmarkServeSampledStreamedChunked"),
+}
+alloc_reductions = {}
+for key, (base, new) in alloc_pairs.items():
+    r = alloc_reduction(base, new)
+    if r is not None:
+        alloc_reductions[key] = r
 
 pr_match = re.search(r"pr(\d+)", out_path)
 cores = os.cpu_count() or 1
@@ -133,6 +173,7 @@ doc = {
         "speedups materialise on multi-core hosts"),
     "benchmarks": benches,
     "speedups": speedups,
+    "alloc_reductions": alloc_reductions,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
