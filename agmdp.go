@@ -23,6 +23,8 @@
 package agmdp
 
 import (
+	"context"
+
 	"agmdp/internal/attrs"
 	"agmdp/internal/core"
 	"agmdp/internal/datasets"
@@ -161,7 +163,7 @@ func Fit(g *Graph, opts Options) (*FittedModel, error) {
 		return nil, err
 	}
 	rng := dp.NewRand(opts.Seed)
-	return core.FitDP(rng, g, core.Config{
+	return core.FitDP(context.Background(), rng, g, core.Config{
 		Epsilon:     opts.Epsilon,
 		TruncationK: opts.TruncationK,
 		Model:       model,

@@ -1,0 +1,421 @@
+// Command agmdp-loadgen drives a running agmdp-serve instance with a mixed
+// fit/sample/download/metrics workload and reports per-endpoint latency
+// percentiles, throughput, and error/throttle rates against a target SLO.
+//
+// Usage:
+//
+//	agmdp-loadgen -addr http://127.0.0.1:8080 [-duration 10s] [-concurrency 8]
+//	              [-keys KEY1,KEY2,...] [-dataset lastfm] [-scale 0.05]
+//	              [-epsilon 0.4] [-seed 1]
+//	              [-fit-weight 1] [-sample-weight 8] [-download-weight 2]
+//	              [-metrics-weight 1]
+//	              [-slo-p95 500ms] [-max-error-rate 0.01]
+//
+// A setup phase fits one model synchronously from the configured dataset and
+// stores one sampled graph, so the steady-state mix exercises every endpoint
+// class from the first request:
+//
+//	fit       POST /v1/fit        (async; spends ε — the only op that does)
+//	sample    POST /v1/sample     (summary format; free post-processing)
+//	download  GET  /v1/graphs/{id}?format=binary
+//	metrics   GET  /v1/healthz
+//
+// When -keys lists API keys, requests round-robin across them as N virtual
+// tenants (sent as X-API-Key), so per-tenant rate limits and ε-budgets are
+// exercised: 429 and 403 responses count as *throttles*, not errors — they
+// are the admission control working as designed — and are reported
+// separately. Errors are transport failures and unexpected status codes
+// (anything 5xx, or non-2xx outside the throttle set).
+//
+// The exit status encodes the verdict: 0 when every endpoint met the SLO,
+// 1 on an SLO breach (p95 over -slo-p95, or error rate over
+// -max-error-rate), 2 on usage errors. -slo-p95 0 disables the latency
+// check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// usageError marks command-line problems; main exits 2 for them.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+// errSLOBreach is returned by run when the measured workload missed the SLO;
+// main exits 1 for it (the report has already been printed).
+var errSLOBreach = errors.New("SLO breach")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var uerr usageError
+		if errors.As(err, &uerr) {
+			if uerr != "" {
+				fmt.Fprintf(os.Stderr, "agmdp-loadgen: %s\n", string(uerr))
+			}
+			os.Exit(2)
+		}
+		if errors.Is(err, errSLOBreach) {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "agmdp-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// op names one endpoint class of the mix. The names double as report rows.
+const (
+	opFit      = "fit"
+	opSample   = "sample"
+	opDownload = "download"
+	opMetrics  = "metrics"
+)
+
+// result is one completed request: which op, how long, and how it ended.
+type result struct {
+	op        string
+	latency   time.Duration
+	throttled bool // 429 rate limit or 403 budget refusal
+	err       bool // transport failure or unexpected status
+}
+
+// config is the parsed flag set.
+type config struct {
+	addr        string
+	duration    time.Duration
+	concurrency int
+	keys        []string
+	dataset     string
+	scale       float64
+	epsilon     float64
+	seed        int64
+	weights     map[string]int
+	sloP95      time.Duration
+	maxErrRate  float64
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agmdp-loadgen", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "", "base URL of the target server (required), e.g. http://127.0.0.1:8080")
+		duration    = fs.Duration("duration", 10*time.Second, "steady-state load duration")
+		concurrency = fs.Int("concurrency", 8, "concurrent workers")
+		keys        = fs.String("keys", "", "comma-separated API keys for N virtual tenants (empty = unauthenticated)")
+		dataset     = fs.String("dataset", "lastfm", "dataset profile for fit traffic")
+		scale       = fs.Float64("scale", 0.05, "dataset scale for fit traffic (small keeps fits fast)")
+		epsilon     = fs.Float64("epsilon", 0.4, "ε per fit request (each async fit spends this much budget)")
+		seed        = fs.Int64("seed", 1, "workload RNG seed (op choice and fit seeds)")
+		fitW        = fs.Int("fit-weight", 1, "relative weight of fit requests")
+		sampleW     = fs.Int("sample-weight", 8, "relative weight of sample requests")
+		downloadW   = fs.Int("download-weight", 2, "relative weight of graph downloads")
+		metricsW    = fs.Int("metrics-weight", 1, "relative weight of healthz probes")
+		sloP95      = fs.Duration("slo-p95", 0, "per-endpoint p95 latency target (0 = no latency SLO)")
+		maxErrRate  = fs.Float64("max-error-rate", 0.01, "max tolerated error rate per endpoint (throttles excluded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usageError("")
+	}
+	if *addr == "" {
+		return usageError("missing -addr")
+	}
+	if *concurrency < 1 {
+		return usageError("-concurrency must be at least 1")
+	}
+	cfg := config{
+		addr:        strings.TrimSuffix(*addr, "/"),
+		duration:    *duration,
+		concurrency: *concurrency,
+		dataset:     *dataset,
+		scale:       *scale,
+		epsilon:     *epsilon,
+		seed:        *seed,
+		weights: map[string]int{
+			opFit: *fitW, opSample: *sampleW, opDownload: *downloadW, opMetrics: *metricsW,
+		},
+		sloP95:     *sloP95,
+		maxErrRate: *maxErrRate,
+	}
+	if *keys != "" {
+		for _, k := range strings.Split(*keys, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				cfg.keys = append(cfg.keys, k)
+			}
+		}
+	}
+	total := 0
+	for _, w := range cfg.weights {
+		if w < 0 {
+			return usageError("weights must be non-negative")
+		}
+		total += w
+	}
+	if total == 0 {
+		return usageError("at least one weight must be positive")
+	}
+	return load(cfg, stdout)
+}
+
+// client wraps the HTTP plumbing shared by setup and steady state.
+type client struct {
+	http *http.Client
+	addr string
+	keys []string
+	next int
+	mu   sync.Mutex
+}
+
+// key returns the next API key round-robin, "" when unauthenticated.
+func (c *client) key() string {
+	if len(c.keys) == 0 {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.keys[c.next%len(c.keys)]
+	c.next++
+	return k
+}
+
+// do issues one request with the given key, returning the status code (0 on
+// transport failure) after draining and closing the body.
+func (c *client) do(method, path, key string, body any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.addr+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// doJSON is do plus response decoding, for the setup phase.
+func (c *client) doJSON(method, path, key string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(method, c.addr+path, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode/100 == 2 && out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	if resp.StatusCode/100 != 2 {
+		return resp.StatusCode, fmt.Errorf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return resp.StatusCode, nil
+}
+
+// load runs setup, the timed steady state, and the report.
+func load(cfg config, stdout io.Writer) error {
+	c := &client{
+		http: &http.Client{Timeout: 30 * time.Second},
+		addr: cfg.addr,
+		keys: cfg.keys,
+	}
+
+	// Setup: one synchronous fit gives the sample traffic a model, one stored
+	// sample gives the download traffic a graph. Both ride the first tenant's
+	// key (and budget — setup spends ε once).
+	setupKey := c.key()
+	var fitted struct {
+		ID string `json:"id"`
+	}
+	fitBody := map[string]any{
+		"dataset": map[string]any{"name": cfg.dataset, "scale": cfg.scale, "seed": cfg.seed},
+		"epsilon": cfg.epsilon,
+		"seed":    cfg.seed,
+	}
+	if _, err := c.doJSON("POST", "/v1/fit", setupKey, fitBody, &fitted); err != nil {
+		return fmt.Errorf("setup fit: %w", err)
+	}
+	var sampled struct {
+		GraphID string `json:"graph_id"`
+	}
+	sampleStore := map[string]any{"id": fitted.ID, "seed": cfg.seed, "store": true}
+	if _, err := c.doJSON("POST", "/v1/sample", setupKey, sampleStore, &sampled); err != nil {
+		return fmt.Errorf("setup sample: %w", err)
+	}
+	fmt.Fprintf(stdout, "setup: model %s, graph %s; %d workers, %v, %d tenant key(s)\n",
+		fitted.ID, sampled.GraphID, cfg.concurrency, cfg.duration, max(1, len(cfg.keys)))
+
+	// The op schedule: a weighted slate each worker draws from with its own
+	// deterministic RNG stream.
+	var slate []string
+	for _, op := range []string{opFit, opSample, opDownload, opMetrics} {
+		for range cfg.weights[op] {
+			slate = append(slate, op)
+		}
+	}
+
+	results := make(chan result, 4096)
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := range cfg.concurrency {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(worker)))
+			for time.Now().Before(deadline) {
+				op := slate[rng.Intn(len(slate))]
+				key := c.key()
+				var (
+					status int
+					err    error
+				)
+				start := time.Now()
+				switch op {
+				case opFit:
+					status, err = c.do("POST", "/v1/fit", key, map[string]any{
+						"dataset": map[string]any{"name": cfg.dataset, "scale": cfg.scale, "seed": cfg.seed},
+						"epsilon": cfg.epsilon,
+						"seed":    rng.Int63(),
+						"async":   true,
+					})
+				case opSample:
+					status, err = c.do("POST", "/v1/sample", key, map[string]any{
+						"id": fitted.ID, "seed": rng.Int63(), "format": "summary",
+					})
+				case opDownload:
+					status, err = c.do("GET", "/v1/graphs/"+sampled.GraphID+"?format=binary", key, nil)
+				case opMetrics:
+					status, err = c.do("GET", "/v1/healthz", key, nil)
+				}
+				results <- result{
+					op:        op,
+					latency:   time.Since(start),
+					throttled: status == http.StatusTooManyRequests || status == http.StatusForbidden,
+					err:       err != nil || (status/100 != 2 && status != http.StatusTooManyRequests && status != http.StatusForbidden),
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	perOp := make(map[string]*opStats)
+	for r := range results {
+		st := perOp[r.op]
+		if st == nil {
+			st = &opStats{}
+			perOp[r.op] = st
+		}
+		st.add(r)
+	}
+	return report(cfg, perOp, stdout)
+}
+
+// opStats accumulates one endpoint's results.
+type opStats struct {
+	latencies []time.Duration
+	throttled int
+	errored   int
+}
+
+func (s *opStats) add(r result) {
+	switch {
+	case r.err:
+		s.errored++
+	case r.throttled:
+		s.throttled++
+	default:
+		// Only successful requests contribute latency samples: a throttle is
+		// an instant refusal and would flatter the percentiles.
+		s.latencies = append(s.latencies, r.latency)
+	}
+}
+
+func (s *opStats) total() int { return len(s.latencies) + s.throttled + s.errored }
+
+// percentile returns the p-th percentile of the sorted samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// report prints the per-endpoint table and checks the SLO, returning
+// errSLOBreach when any endpoint missed it.
+func report(cfg config, perOp map[string]*opStats, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "%-10s %8s %10s %10s %10s %8s %8s %9s\n",
+		"endpoint", "requests", "p50", "p95", "p99", "throttle", "errors", "err_rate")
+	var breaches []string
+	for _, op := range []string{opFit, opSample, opDownload, opMetrics} {
+		st := perOp[op]
+		if st == nil || st.total() == 0 {
+			continue
+		}
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+		p50 := percentile(st.latencies, 50)
+		p95 := percentile(st.latencies, 95)
+		p99 := percentile(st.latencies, 99)
+		errRate := float64(st.errored) / float64(st.total())
+		fmt.Fprintf(stdout, "%-10s %8d %10v %10v %10v %8d %8d %8.2f%%\n",
+			op, st.total(), p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+			p99.Round(time.Microsecond), st.throttled, st.errored, 100*errRate)
+		if cfg.sloP95 > 0 && p95 > cfg.sloP95 {
+			breaches = append(breaches, fmt.Sprintf("%s p95 %v > target %v", op, p95.Round(time.Microsecond), cfg.sloP95))
+		}
+		if errRate > cfg.maxErrRate {
+			breaches = append(breaches, fmt.Sprintf("%s error rate %.2f%% > max %.2f%%", op, 100*errRate, 100*cfg.maxErrRate))
+		}
+	}
+	if len(breaches) > 0 {
+		for _, b := range breaches {
+			fmt.Fprintf(stdout, "SLO BREACH: %s\n", b)
+		}
+		return errSLOBreach
+	}
+	fmt.Fprintln(stdout, "SLO met")
+	return nil
+}

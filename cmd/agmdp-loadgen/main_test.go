@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"agmdp/internal/engine"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/jobs"
+	"agmdp/internal/registry"
+	"agmdp/internal/server"
+	"agmdp/internal/tenant"
+)
+
+// newTarget spins up a full in-process service — engine, job manager, graph
+// store and two authenticated tenants — for the loadgen to hit.
+func newTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := graphstore.Open(graphstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, Seed: 1})
+	t.Cleanup(eng.Close)
+	jm, err := jobs.New(jobs.Options{Engine: eng, Store: graphs, Models: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(jm.Close)
+	tenants, err := tenant.New(tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alpha", Key: "alpha-key", Budget: 1000, RatePerSec: 10000, Burst: 10000},
+		{ID: "beta", Key: "beta-key", Budget: 1000, RatePerSec: 10000, Burst: 10000},
+	}}, tenant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tenants.Close() })
+	srv, err := server.New(server.Config{
+		Registry:      reg,
+		Engine:        eng,
+		Graphs:        graphs,
+		Jobs:          jm,
+		Tenants:       tenants,
+		SampleTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadgenSmoke runs a short mixed-traffic load against an in-process
+// tenant-enabled server: the run must complete without unexpected errors
+// (zero 5xx — throttles are fine) and print percentiles for every endpoint
+// class.
+func TestLoadgenSmoke(t *testing.T) {
+	ts := newTarget(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-keys", "alpha-key,beta-key",
+		"-duration", "2s",
+		"-concurrency", "4",
+		"-scale", "0.02",
+		"-max-error-rate", "0", // any unexpected error (5xx, transport) fails the run
+	}, &out)
+	t.Logf("loadgen output:\n%s", out.String())
+	if err != nil {
+		t.Fatalf("loadgen run: %v", err)
+	}
+	for _, op := range []string{"fit", "sample", "download", "metrics", "p95", "SLO met"} {
+		if !strings.Contains(out.String(), op) {
+			t.Errorf("report missing %q", op)
+		}
+	}
+}
+
+// TestLoadgenBudgetThrottle gives the tenants a budget small enough that the
+// fit traffic exhausts it mid-run: the run must still succeed (403 budget
+// refusals are throttles, not errors) and report a non-zero throttle count
+// for the fit endpoint.
+func TestLoadgenBudgetThrottle(t *testing.T) {
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := graphstore.Open(graphstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, Seed: 1})
+	t.Cleanup(eng.Close)
+	jm, err := jobs.New(jobs.Options{Engine: eng, Store: graphs, Models: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(jm.Close)
+	// Budget 1.0 admits the ε=0.4 setup fit plus one load fit; the rest 403.
+	tenants, err := tenant.New(tenant.File{Tenants: []tenant.Tenant{
+		{ID: "tight", Key: "tight-key", Budget: 1.0, RatePerSec: 10000, Burst: 10000},
+	}}, tenant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tenants.Close() })
+	srv, err := server.New(server.Config{
+		Registry: reg, Engine: eng, Graphs: graphs, Jobs: jm, Tenants: tenants,
+		SampleTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", ts.URL,
+		"-keys", "tight-key",
+		"-duration", "1s",
+		"-concurrency", "2",
+		"-scale", "0.02",
+		"-fit-weight", "4", "-sample-weight", "1", "-download-weight", "0", "-metrics-weight", "0",
+		"-max-error-rate", "0",
+	}, &out)
+	t.Logf("loadgen output:\n%s", out.String())
+	if err != nil {
+		t.Fatalf("loadgen run (throttles must not fail the SLO): %v", err)
+	}
+	// The fit row must show throttled requests once the ε-budget ran dry.
+	var fitRow string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "fit ") {
+			fitRow = line
+		}
+	}
+	if fitRow == "" {
+		t.Fatal("no fit row in report")
+	}
+	fields := strings.Fields(fitRow)
+	// endpoint requests p50 p95 p99 throttle errors err_rate
+	if len(fields) < 7 || fields[5] == "0" {
+		t.Errorf("expected non-zero fit throttle count, row: %q", fitRow)
+	}
+}

@@ -9,7 +9,9 @@
 //	agmdp-serve [-addr :8080] [-store DIR] [-graph-store DIR] [-jobs-dir DIR]
 //	            [-workers N] [-queue N] [-parallelism N] [-seed 1]
 //	            [-max-models N] [-max-graphs N] [-jobs-retain N]
-//	            [-max-job-samples N] [-log-format text|json] [-pprof]
+//	            [-max-job-samples N] [-max-concurrent-fits N]
+//	            [-tenants FILE] [-tenant-dir DIR]
+//	            [-log-format text|json] [-pprof]
 //
 // The service speaks the versioned, resource-oriented /v1 API (see
 // docs/api.md for the full reference):
@@ -37,6 +39,13 @@
 // Finished-job metadata persists to -jobs-dir (defaulting to a jobs/
 // directory inside -graph-store when one is configured), so job results —
 // including the model IDs of async fits — survive restarts.
+//
+// -tenants FILE enables multi-tenant serving: API requests authenticate with
+// X-API-Key (or Authorization: Bearer), each tenant gets a token-bucket rate
+// limit, and every DP fit is charged against the tenant's per-graph ε-budget
+// — refused with 403 once exhausted. Sampling fitted models stays free (the
+// post-processing property). -tenant-dir persists the ε-ledger as append-only
+// JSONL so spends survive restarts.
 //
 // The original unversioned endpoints (/fit, /sample, /models…, /healthz)
 // remain as aliases of the v1 handlers.
@@ -66,6 +75,7 @@ import (
 	"agmdp/internal/jobs"
 	"agmdp/internal/registry"
 	"agmdp/internal/server"
+	"agmdp/internal/tenant"
 )
 
 // usageError marks command-line usage problems; main exits 2 for them (as
@@ -110,6 +120,9 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		maxGraphs     = fs.Int("max-graphs", 0, "max resident graphs, oldest evicted first (0 = unbounded)")
 		jobsRetain    = fs.Int("jobs-retain", 0, "finished sampling jobs kept for result pickup (0 = default 64)")
 		maxJobSamples = fs.Int("max-job-samples", 0, "max samples per job (0 = default 1024)")
+		maxFits       = fs.Int("max-concurrent-fits", 0, "fit jobs running at once, the rest queue (0 = GOMAXPROCS, floored at 2)")
+		tenantsFile   = fs.String("tenants", "", "tenants config JSON (enables API-key auth, per-tenant rate limits and ε-budgets)")
+		tenantDir     = fs.String("tenant-dir", "", "ε-ledger directory, persisted as append-only JSONL (empty = in-memory ledger)")
 		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
 		pprofFlag     = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator-facing listeners only)")
 		chunkRows     = fs.Int("stream-chunk-rows", 0, "rows per frame for chunked graph streaming (0 = default 32768)")
@@ -172,11 +185,12 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		jobsPath = filepath.Join(*graphStore, "jobs")
 	}
 	jobMgr, err := jobs.New(jobs.Options{
-		Engine: eng,
-		Store:  graphs,
-		Models: reg,
-		Retain: *jobsRetain,
-		Dir:    jobsPath,
+		Engine:            eng,
+		Store:             graphs,
+		Models:            reg,
+		Retain:            *jobsRetain,
+		Dir:               jobsPath,
+		MaxConcurrentFits: *maxFits,
 		// Matches the server's default /sample deadline, so a wedged sample
 		// inside a batch job cannot occupy an engine worker forever.
 		SampleTimeout: time.Minute,
@@ -191,6 +205,23 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	// before the engine shuts down.
 	defer jobMgr.Close()
 
+	// Tenancy is opt-in: without -tenants the server stays open (no auth, no
+	// budgets), exactly as before. With it, every API request needs a key and
+	// every DP fit is charged against the tenant's persistent ε-ledger.
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		tenants, err = tenant.Open(tenant.Options{Path: *tenantsFile, Dir: *tenantDir})
+		if err != nil {
+			return err
+		}
+		defer tenants.Close()
+		for _, warning := range tenants.Warnings() {
+			logger.Warn("skipped ledger line", "warning", warning)
+		}
+	} else if *tenantDir != "" {
+		return usageError("-tenant-dir requires -tenants")
+	}
+
 	srv, err := server.New(server.Config{
 		Registry:        reg,
 		Engine:          eng,
@@ -201,6 +232,7 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		Logger:          logger,
 		Pprof:           *pprofFlag,
 		StreamChunkRows: *chunkRows,
+		Tenants:         tenants,
 	})
 	if err != nil {
 		return err

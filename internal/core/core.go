@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -137,30 +138,46 @@ func Fit(g *graph.Graph, model structural.Model) *FittedModel {
 // bit-identical for all worker counts, so the fitted model depends only on
 // the input graph and the model choice.
 func FitWith(g *graph.Graph, model structural.Model, parallelism int) *FittedModel {
-	return fitWithObserved(g, model, parallelism, nil)
+	// A background context never cancels, so the error is statically nil.
+	m, _ := fitWithObserved(context.Background(), g, model, parallelism, nil)
+	return m
 }
 
-// fitWithObserved is FitWith with an optional stage observer; it reports the
-// same stage names as FitDP so synchronous and private fits share one timing
-// vocabulary.
-func fitWithObserved(g *graph.Graph, model structural.Model, parallelism int, observe func(string, time.Duration)) *FittedModel {
+// fitWithObserved is FitWith with a cancellation context and an optional
+// stage observer; it reports the same stage names as FitDP so synchronous and
+// private fits share one timing vocabulary, and it checks ctx at the same
+// stage boundaries so cancellable serving paths behave identically whether or
+// not a fit is private.
+func fitWithObserved(ctx context.Context, g *graph.Graph, model structural.Model, parallelism int, observe func(string, time.Duration)) (*FittedModel, error) {
 	if model == nil {
 		model = structural.TriCycLe{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	params := structural.Params{Degrees: g.DegreeSequenceWith(parallelism)}
 	observeStage(observe, "degrees", start)
 	switch model.(type) {
 	case structural.TriCycLe:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
 		params.Triangles = g.TrianglesWith(parallelism)
 		observeStage(observe, "triangles", start)
 	case structural.TCL:
 		params.Rho = structural.FitRho(g, 0)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	thetaX := attrs.TrueThetaXWith(g, parallelism)
 	observeStage(observe, "attrs", start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	thetaF := attrs.TrueThetaFWith(g, parallelism)
 	observeStage(observe, "correlations", start)
@@ -171,7 +188,7 @@ func fitWithObserved(g *graph.Graph, model structural.Model, parallelism int, ob
 		ThetaF:     thetaF,
 		Structural: params,
 		ModelName:  model.Name(),
-	}
+	}, nil
 }
 
 // FitModel runs the fit a Config describes end to end: the differentially
@@ -180,11 +197,14 @@ func fitWithObserved(g *graph.Graph, model structural.Model, parallelism int, ob
 // the synchronous HTTP handler and the asynchronous fit jobs, so the two
 // paths cannot drift apart — an async fit registers exactly the model the
 // synchronous fit would have.
-func FitModel(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
+//
+// Cancelling ctx aborts the fit at the next stage boundary (see FitDP for
+// the exact contract); the non-private baseline checks the same boundaries.
+func FitModel(ctx context.Context, rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 	if cfg.Epsilon > 0 {
-		return FitDP(rng, g, cfg)
+		return FitDP(ctx, rng, g, cfg)
 	}
-	return fitWithObserved(g, cfg.normalizedModel(), cfg.Parallelism, cfg.Observe), nil
+	return fitWithObserved(ctx, g, cfg.normalizedModel(), cfg.Parallelism, cfg.Observe)
 }
 
 // FitDP (lines 2–5 of Algorithm 3) learns ε-differentially private AGM
@@ -192,7 +212,13 @@ func FitModel(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) 
 // distribution, the attribute–edge correlations and the structural parameters
 // according to the configured split; sequential composition over the disjoint
 // learning procedures gives a total privacy cost of ε.
-func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
+//
+// Cancellation: ctx is checked between pipeline stages (Θ̃X, Θ̃F, S̃, ñ∆) and
+// never inside one, so a fit either aborts before a stage's noise draws or
+// runs the stage to completion — a fit that finishes is bit-identical to one
+// run with a background context, and a cancelled fit returns ctx's error
+// having released nothing derived from the unfinished stages.
+func FitDP(ctx context.Context, rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 	if cfg.Epsilon <= 0 {
 		return nil, fmt.Errorf("core: non-positive privacy budget %v", cfg.Epsilon)
 	}
@@ -243,6 +269,9 @@ func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 	// seed) no matter how many workers measure the graph.
 
 	// Θ̃X — LearnAttributesDP (Algorithm 5).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := charge(epsX); err != nil {
 		return nil, err
 	}
@@ -251,6 +280,9 @@ func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 	observeStage(cfg.Observe, "attrs", start)
 
 	// Θ̃F — LearnCorrelationsDP (Algorithm 4, edge truncation).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := charge(epsF); err != nil {
 		return nil, err
 	}
@@ -259,6 +291,9 @@ func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 	observeStage(cfg.Observe, "correlations", start)
 
 	// Θ̃M — FitTriCycLeDP (Algorithm 6) or the FCL degree sequence.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := charge(epsS); err != nil {
 		return nil, err
 	}
@@ -266,6 +301,9 @@ func FitDP(rng *rand.Rand, g *graph.Graph, cfg Config) (*FittedModel, error) {
 	params := structural.Params{Degrees: degrees.PrivateSequenceWith(rng, g, epsS, cfg.Parallelism)}
 	observeStage(cfg.Observe, "degrees", start)
 	if _, ok := model.(structural.TriCycLe); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := charge(epsTri); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -72,21 +73,21 @@ func TestFitDefaultsToTriCycLe(t *testing.T) {
 
 func TestFitDPValidatesConfig(t *testing.T) {
 	g := testInputGraph(4)
-	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 0}); err == nil {
+	if _, err := FitDP(context.Background(), dp.NewRand(1), g, Config{Epsilon: 0}); err == nil {
 		t.Fatal("zero epsilon accepted")
 	}
-	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, Model: structural.TCL{}}); !errors.Is(err, ErrUnsupportedModel) {
+	if _, err := FitDP(context.Background(), dp.NewRand(1), g, Config{Epsilon: 1, Model: structural.TCL{}}); !errors.Is(err, ErrUnsupportedModel) {
 		t.Fatalf("TCL should be rejected as unsupported, got %v", err)
 	}
-	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, BudgetSplit: []float64{0.5, 0.5}}); err == nil {
+	if _, err := FitDP(context.Background(), dp.NewRand(1), g, Config{Epsilon: 1, BudgetSplit: []float64{0.5, 0.5}}); err == nil {
 		t.Fatal("wrong budget split length accepted for TriCycLe")
 	}
-	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, Model: structural.FCL{}, BudgetSplit: []float64{0.5, 0.5, 0.5, 0.5}}); err == nil {
+	if _, err := FitDP(context.Background(), dp.NewRand(1), g, Config{Epsilon: 1, Model: structural.FCL{}, BudgetSplit: []float64{0.5, 0.5, 0.5, 0.5}}); err == nil {
 		t.Fatal("wrong budget split length accepted for FCL")
 	}
 	// A split that exceeds the total budget must be rejected by the
 	// accountant.
-	if _, err := FitDP(dp.NewRand(1), g, Config{Epsilon: 1, BudgetSplit: []float64{0.5, 0.5, 0.5, 0.5}}); err == nil {
+	if _, err := FitDP(context.Background(), dp.NewRand(1), g, Config{Epsilon: 1, BudgetSplit: []float64{0.5, 0.5, 0.5, 0.5}}); err == nil {
 		t.Fatal("over-budget split accepted")
 	}
 }
@@ -94,7 +95,7 @@ func TestFitDPValidatesConfig(t *testing.T) {
 func TestFitDPProducesValidModel(t *testing.T) {
 	g := testInputGraph(5)
 	for _, model := range []structural.Model{structural.TriCycLe{}, structural.FCL{}} {
-		m, err := FitDP(dp.NewRand(2), g, Config{Epsilon: 1, Model: model})
+		m, err := FitDP(context.Background(), dp.NewRand(2), g, Config{Epsilon: 1, Model: model})
 		if err != nil {
 			t.Fatalf("FitDP(%s): %v", model.Name(), err)
 		}
@@ -127,7 +128,7 @@ func TestFitDPAccuracyImprovesWithEpsilon(t *testing.T) {
 		var total float64
 		const trials = 8
 		for i := 0; i < trials; i++ {
-			m, err := FitDP(dp.NewRand(int64(i)+100), g, Config{Epsilon: eps})
+			m, err := FitDP(context.Background(), dp.NewRand(int64(i)+100), g, Config{Epsilon: eps})
 			if err != nil {
 				t.Fatalf("FitDP: %v", err)
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -88,7 +89,7 @@ func TestFitDPParallelMatchesSequential(t *testing.T) {
 	g := fitFixture(t, 2000)
 	for _, model := range []structural.Model{structural.TriCycLe{}, structural.FCL{}} {
 		fit := func(workers int) []byte {
-			m, err := FitDP(rand.New(rand.NewSource(7)), g, Config{
+			m, err := FitDP(context.Background(), rand.New(rand.NewSource(7)), g, Config{
 				Epsilon:     1.0,
 				Model:       model,
 				Parallelism: workers,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"agmdp/internal/dp"
@@ -20,7 +21,7 @@ func serializeFixture(t *testing.T) *FittedModel {
 	for i := 0; i < 40; i++ {
 		b.SetAttr(i, graph.AttrVector(rng.Intn(4)))
 	}
-	m, err := FitDP(dp.NewRand(3), b.Finalize(), Config{Epsilon: 1.0})
+	m, err := FitDP(context.Background(), dp.NewRand(3), b.Finalize(), Config{Epsilon: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}

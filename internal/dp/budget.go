@@ -68,6 +68,25 @@ func (b *Budget) Spend(epsilon float64) error {
 	return nil
 }
 
+// Refund returns epsilon to the budget, clamped so the spent total never
+// goes negative. It exists for *admission* accounting — a serving layer that
+// charges a fit's ε up front may return it when the fit is cancelled or fails
+// before any noised measurement of the sensitive data was released. It must
+// never be called for an operation whose output (even partial) was observed:
+// differential privacy has no refunds for released information.
+func (b *Budget) Refund(epsilon float64) error {
+	if epsilon <= 0 {
+		return fmt.Errorf("dp: cannot refund non-positive epsilon %v", epsilon)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent -= epsilon
+	if b.spent < 0 {
+		b.spent = 0
+	}
+	return nil
+}
+
 // SplitEven divides epsilon into k equal parts. It is the budget-splitting
 // strategy the paper uses for AGM-DP with TriCycLe (four equal shares for ΘX,
 // ΘF, S and n∆).

@@ -112,3 +112,39 @@ func TestSplitWeighted(t *testing.T) {
 	mustPanic(t, func() { SplitWeighted(1, []float64{-1, 2}) }, "negative weight")
 	mustPanic(t, func() { SplitWeighted(1, []float64{0, 0}) }, "all-zero weights")
 }
+
+func TestBudgetRefund(t *testing.T) {
+	b := NewBudget(1.0)
+	if err := b.Spend(0.8); err != nil {
+		t.Fatalf("Spend(0.8): %v", err)
+	}
+	// An admission layer returning a charge for a fit that never ran: the
+	// budget must be spendable again.
+	if err := b.Refund(0.8); err != nil {
+		t.Fatalf("Refund(0.8): %v", err)
+	}
+	if math.Abs(b.Remaining()-1.0) > 1e-9 {
+		t.Fatalf("Remaining after refund = %v, want 1.0", b.Remaining())
+	}
+	if err := b.Spend(1.0); err != nil {
+		t.Fatalf("Spend(1.0) after refund: %v", err)
+	}
+	// Refunds clamp at zero spent: a stray over-refund can never manufacture
+	// budget beyond the configured total.
+	b2 := NewBudget(1.0)
+	if err := b2.Spend(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Refund(5.0); err != nil {
+		t.Fatalf("over-refund: %v", err)
+	}
+	if b2.Spent() != 0 || math.Abs(b2.Remaining()-1.0) > 1e-9 {
+		t.Fatalf("clamped refund state: spent=%v remaining=%v", b2.Spent(), b2.Remaining())
+	}
+	if err := b2.Refund(0); err == nil {
+		t.Fatal("Refund(0) accepted")
+	}
+	if err := b2.Refund(-1); err == nil {
+		t.Fatal("Refund(-1) accepted")
+	}
+}

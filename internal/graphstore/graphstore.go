@@ -176,6 +176,19 @@ func IDFromBytes(data []byte) string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// GraphID computes the content address a graph would be stored under without
+// storing it: the canonical snapshot streams through the hash, never
+// buffered. The tenancy layer keys its ε-ledger on this, so fitting the same
+// graph inline, from the store, or re-uploaded under another name all charge
+// one budget account.
+func GraphID(g *graph.Graph) (string, error) {
+	h := sha256.New()
+	if err := g.WriteBinary(h); err != nil {
+		return "", fmt.Errorf("graphstore: hashing graph: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
 // loadDir indexes persisted snapshots, oldest first so the eviction order
 // matches the original insertion order. Each file costs one header read plus
 // one hashing pass (over the memory map where available, streamed otherwise);

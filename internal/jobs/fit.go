@@ -49,6 +49,14 @@ type FitSpec struct {
 	// (concurrently with registering the model) and caches it in the model
 	// store, so the first default-shaped sample skips the refinement rounds.
 	WarmAcceptance bool
+	// OnDone, when non-nil, is invoked exactly once when the job reaches a
+	// terminal status, with produced reporting whether a fitted model was
+	// registered in the model store. The tenancy layer uses it to refund a
+	// pre-charged privacy budget when a cancelled or failed fit released
+	// nothing (produced == false); a fit cancelled only after registration
+	// still reports produced == true, because its model — and therefore its
+	// privacy spend — is real.
+	OnDone func(produced bool)
 }
 
 // SubmitFit accepts a fit job and starts it in the background, returning its
@@ -101,20 +109,44 @@ func (m *Manager) SubmitFit(spec FitSpec) (string, error) {
 	return id, nil
 }
 
-// runFit executes one fit job end to end. The fit itself is not
-// interruptible (exactly like the synchronous handler); cancellation is
-// honoured before it starts and suppresses registration after it ends.
+// runFit executes one fit job end to end. The job stays in StatusQueued
+// until it acquires one of the manager's bounded fit slots (so listings show
+// exactly which fits are waiting); once running, the context is threaded
+// through the whole fit pipeline, so cancellation — DELETE /v1/jobs/{id} or
+// manager shutdown — aborts a mid-pipeline fit at the next stage boundary
+// rather than burning workers to completion.
 func (m *Manager) runFit(ctx context.Context, j *job) {
 	defer m.wg.Done()
 	defer j.cancel()
 
 	j.mu.Lock()
-	j.info.Status = StatusRunning
-	j.info.StartedAt = m.opts.Clock()
 	spec := j.fit
 	j.mu.Unlock()
 
+	// Acquire a fit slot; the job is visibly "queued" while it waits.
+	// Cancellation while queued finishes the job without ever starting the
+	// pipeline.
+	select {
+	case m.fitSem <- struct{}{}:
+		defer func() { <-m.fitSem }()
+	case <-ctx.Done():
+		m.finishFit(j, ctx, nil, true, spec.OnDone)
+		return
+	}
+
+	j.mu.Lock()
+	j.info.Status = StatusRunning
+	j.info.StartedAt = m.opts.Clock()
+	j.mu.Unlock()
+
 	result, failed := m.fitOnce(ctx, spec, j)
+	m.finishFit(j, ctx, result, failed, spec.OnDone)
+}
+
+// finishFit moves a fit job to its terminal state and fires the OnDone
+// callback (after the terminal record is committed, so a refund triggered by
+// the callback can never race a restart that still shows the job running).
+func (m *Manager) finishFit(j *job, ctx context.Context, result *FitResult, failed bool, onDone func(bool)) {
 	m.finish(j, func(info *Info) {
 		switch {
 		case ctx.Err() != nil:
@@ -137,6 +169,9 @@ func (m *Manager) runFit(ctx context.Context, j *job) {
 			info.ModelID = result.ModelID
 		}
 	})
+	if onDone != nil {
+		onDone(result != nil && result.ModelID != "")
+	}
 }
 
 // fitOnce runs the fit pipeline and registers the result, reporting the
@@ -154,8 +189,11 @@ func (m *Manager) fitOnce(ctx context.Context, spec FitSpec, j *job) (*FitResult
 	}
 
 	// FitModel is the same entry point the synchronous handler uses, so the
-	// async path cannot drift from it.
-	fitted, err := core.FitModel(dp.NewRand(spec.Seed), spec.Graph, core.Config{
+	// async path cannot drift from it. The job context rides through the fit
+	// pipeline: cancellation aborts at the next stage boundary (never
+	// mid-noise-draw, so a fit that completes is bit-identical to an
+	// uncancellable one).
+	fitted, err := core.FitModel(ctx, dp.NewRand(spec.Seed), spec.Graph, core.Config{
 		Epsilon:     spec.Epsilon,
 		TruncationK: spec.TruncationK,
 		Model:       model,
@@ -164,6 +202,9 @@ func (m *Manager) fitOnce(ctx context.Context, spec FitSpec, j *job) (*FitResult
 			recordStage(j, KindFit, stage, d)
 		},
 	})
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, true
+	}
 	if err != nil {
 		return &FitResult{Error: err.Error()}, true
 	}

@@ -1,0 +1,231 @@
+package jobs
+
+// Admission-control tests for fit jobs: the bounded fit-worker pool (queued
+// fits are visible as StatusQueued), prompt cancellation of queued and
+// running fits, and the OnDone terminal callback the tenancy layer hangs
+// refunds on.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agmdp/internal/dp"
+	"agmdp/internal/engine"
+	"agmdp/internal/graph"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/registry"
+)
+
+// newBoundedFitManager builds a manager with exactly one fit slot, so a test
+// can occupy it and deterministically observe the queued state.
+func newBoundedFitManager(t *testing.T) *Manager {
+	t.Helper()
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, Seed: 1, Acceptance: reg})
+	t.Cleanup(eng.Close)
+	store, err := graphstore.Open(graphstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Options{Engine: eng, Store: store, Models: reg, MaxConcurrentFits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// TestFitJobQueuedStateVisible occupies the single fit slot and expects a
+// submitted fit to report StatusQueued (never StatusRunning) until the slot
+// frees, then run to completion.
+func TestFitJobQueuedStateVisible(t *testing.T) {
+	m := newBoundedFitManager(t)
+	m.fitSem <- struct{}{} // occupy the only slot
+
+	id, err := m.SubmitFit(FitSpec{Graph: fixtureGraph(t), Epsilon: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job must stay visibly queued while the slot is held.
+	time.Sleep(20 * time.Millisecond)
+	info, _, ok := m.Get(id)
+	if !ok || info.Status != StatusQueued {
+		t.Fatalf("job with no free fit slot is %v, want %v", info.Status, StatusQueued)
+	}
+	if !info.StartedAt.IsZero() {
+		t.Errorf("queued job carries a start time %v", info.StartedAt)
+	}
+
+	<-m.fitSem // release the slot
+	final := wait(t, m, id)
+	if final.Status != StatusDone || final.Fit == nil || final.Fit.ModelID == "" {
+		t.Fatalf("released fit ended %+v", final)
+	}
+}
+
+// TestFitJobCancelWhileQueued cancels a fit that never got a slot: it must
+// finish as cancelled without running the pipeline, and OnDone must report
+// produced == false — the tenancy layer's cue to refund the pre-charged ε.
+func TestFitJobCancelWhileQueued(t *testing.T) {
+	m := newBoundedFitManager(t)
+	m.fitSem <- struct{}{}
+	defer func() { <-m.fitSem }()
+
+	donec := make(chan bool, 1)
+	id, err := m.SubmitFit(FitSpec{
+		Graph: fixtureGraph(t), Epsilon: 1, Seed: 3,
+		OnDone: func(p bool) { donec <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancel(id) {
+		t.Fatal("cancel of queued fit refused")
+	}
+	info := wait(t, m, id)
+	if info.Status != StatusCancelled {
+		t.Fatalf("cancelled queued fit ended %v", info.Status)
+	}
+	if info.Fit != nil || info.ModelID != "" {
+		t.Errorf("cancelled queued fit carries a result: %+v", info)
+	}
+	if p := recvProduced(t, donec); p {
+		t.Error("OnDone produced = true for a fit that never ran, want false")
+	}
+}
+
+// recvProduced receives the OnDone callback's value with a timeout (OnDone
+// fires after the terminal record commits, which can trail Wait slightly).
+func recvProduced(t *testing.T, donec <-chan bool) bool {
+	t.Helper()
+	select {
+	case p := <-donec:
+		return p
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnDone never fired")
+		return false
+	}
+}
+
+// TestFitJobCancelRunningPromptly cancels a fit mid-pipeline on a graph big
+// enough that the pipeline is still in flight: the job must reach
+// StatusCancelled promptly (the context aborts at the next stage boundary)
+// and report produced == false.
+func TestFitJobCancelRunningPromptly(t *testing.T) {
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, Seed: 1})
+	t.Cleanup(eng.Close)
+	store, err := graphstore.Open(graphstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Options{Engine: eng, Store: store, Models: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	// A denser graph keeps the measurement passes busy long enough to land
+	// the cancel mid-pipeline (and if the fit wins the race anyway, the test
+	// still verifies the produced==true contract below).
+	rng := dp.NewRand(13)
+	b := graph.NewBuilder(1500, 2)
+	for i := 0; i < 60000; i++ {
+		b.AddEdge(rng.Intn(1500), rng.Intn(1500))
+	}
+	g := b.Finalize()
+
+	donec := make(chan bool, 1)
+	id, err := m.SubmitFit(FitSpec{
+		Graph: g, Epsilon: 1, Seed: 3, Parallelism: 1,
+		OnDone: func(p bool) { donec <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the running state, then cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info, _, ok := m.Get(id)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if info.Status != StatusQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Cancel(id)
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !m.Wait(ctx, id) {
+		t.Fatal("cancelled fit did not finish")
+	}
+	elapsed := time.Since(start)
+	info, _, _ := m.Get(id)
+	p := recvProduced(t, donec)
+	switch info.Status {
+	case StatusCancelled:
+		if info.ModelID == "" && p {
+			t.Error("cancelled fit without a model reported produced == true")
+		}
+		if info.ModelID != "" && !p {
+			t.Error("cancelled fit that registered a model reported produced == false")
+		}
+	case StatusDone:
+		// The fit won the race with the cancel; the charge must then stand.
+		if !p {
+			t.Error("completed fit reported produced == false")
+		}
+	default:
+		t.Fatalf("cancelled fit ended %v", info.Status)
+	}
+	// Prompt is relative to a full fit on this graph (multiple seconds): the
+	// abort must land at a stage boundary, not after the whole pipeline.
+	if info.Status == StatusCancelled && elapsed > 15*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// TestFitJobOnDoneProducedTrue pins the other half of the refund contract: a
+// fit that completes and registers its model reports produced == true, so
+// the ε charge stands.
+func TestFitJobOnDoneProducedTrue(t *testing.T) {
+	m, _ := newFitManager(t, "")
+	donec := make(chan bool, 1)
+	id, err := m.SubmitFit(FitSpec{
+		Graph: fixtureGraph(t), Epsilon: 1, Seed: 3,
+		OnDone: func(p bool) { donec <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := wait(t, m, id)
+	if info.Status != StatusDone {
+		t.Fatalf("fit ended %v", info.Status)
+	}
+	if !recvProduced(t, donec) {
+		t.Error("OnDone produced = false for a completed fit, want true")
+	}
+}
+
+// TestMaxConcurrentFitsDefault pins the GOMAXPROCS-aware default: a zero
+// option still yields at least two slots.
+func TestMaxConcurrentFitsDefault(t *testing.T) {
+	m, _ := newFitManager(t, "")
+	if cap(m.fitSem) < 2 {
+		t.Errorf("default fit slots = %d, want at least 2", cap(m.fitSem))
+	}
+}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -83,7 +84,7 @@ func TestFitJobRegistersModel(t *testing.T) {
 // the same seed, at every parallelism.
 func TestFitJobMatchesSynchronousFit(t *testing.T) {
 	g := fixtureGraph(t)
-	sync, err := core.FitDP(dp.NewRand(11), g, core.Config{Epsilon: 0.8, Parallelism: 1})
+	sync, err := core.FitDP(context.Background(), dp.NewRand(11), g, core.Config{Epsilon: 0.8, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

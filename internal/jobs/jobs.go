@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -195,6 +196,14 @@ type Options struct {
 	// still queue behind the engine's own bounded worker pool). Values below
 	// 1 select 4.
 	FanOut int
+	// MaxConcurrentFits bounds how many fit jobs run their pipelines at
+	// once; fits beyond the bound wait in StatusQueued (visible in listings)
+	// until a slot frees. Fit pipelines fan out internally onto the shared
+	// worker pool, so a handful of concurrent fits already saturates the
+	// machine — unbounded admission only added memory pressure and tail
+	// latency. Values below 1 select GOMAXPROCS, floored at 2 so a queued
+	// fit can always overlap another's sequential stages.
+	MaxConcurrentFits int
 	// SampleTimeout bounds each individual sample; zero means no per-sample
 	// deadline.
 	SampleTimeout time.Duration
@@ -226,6 +235,10 @@ func recordStage(j *job, kind Kind, stage string, d time.Duration) {
 type Manager struct {
 	opts Options
 
+	// fitSem is the bounded fit-worker pool: one slot per concurrently
+	// running fit pipeline (Options.MaxConcurrentFits).
+	fitSem chan struct{}
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for listings
@@ -250,10 +263,17 @@ func New(opts Options) (*Manager, error) {
 	if opts.FanOut < 1 {
 		opts.FanOut = 4
 	}
+	if opts.MaxConcurrentFits < 1 {
+		opts.MaxConcurrentFits = max(2, runtime.GOMAXPROCS(0))
+	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
-	m := &Manager{opts: opts, jobs: make(map[string]*job)}
+	m := &Manager{
+		opts:   opts,
+		jobs:   make(map[string]*job),
+		fitSem: make(chan struct{}, opts.MaxConcurrentFits),
+	}
 	if opts.Dir != "" {
 		if err := m.loadDir(); err != nil {
 			return nil, err

@@ -102,7 +102,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case KindGauge:
 				bw.WriteString(f.name)
 				writeLabels(bw, f.labels, c.labels, "", "")
-				fmt.Fprintf(bw, " %d\n", c.g.Value())
+				fmt.Fprintf(bw, " %s\n", formatValue(c.g.FloatValue()))
 			case KindHistogram:
 				cum, total := c.h.snapshotBuckets()
 				for i, bound := range c.h.bounds {
@@ -177,7 +177,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			case KindCounter:
 				m.Value = float64(c.c.Value())
 			case KindGauge:
-				m.Value = float64(c.g.Value())
+				m.Value = c.g.FloatValue()
 			case KindHistogram:
 				m.Count = c.h.Count()
 				m.Sum = c.h.Sum()

@@ -32,6 +32,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -72,25 +73,49 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is a settable instantaneous value.
+// Gauge is a settable instantaneous value. It is float64-valued internally —
+// privacy-budget gauges carry fractional ε — while keeping the integer API
+// for the counters-of-things callers: integers up to 2^53 round-trip exactly
+// through the float representation, far beyond any resident-object or byte
+// count this service reports.
 type Gauge struct {
-	v atomic.Int64
+	v atomic.Uint64 // math.Float64bits representation
 }
 
 // Set replaces the value.
-func (g *Gauge) Set(n int64) { g.v.Store(n) }
+func (g *Gauge) Set(n int64) { g.SetFloat(float64(n)) }
+
+// SetFloat replaces the value with a float64 (fractional gauges, e.g. spent
+// privacy budget).
+func (g *Gauge) SetFloat(v float64) { g.v.Store(math.Float64bits(v)) }
 
 // Add adds n (negative to subtract).
-func (g *Gauge) Add(n int64) { g.v.Add(n) }
+func (g *Gauge) Add(n int64) { g.AddFloat(float64(n)) }
+
+// AddFloat adds v (negative to subtract). Concurrent adds are linearized with
+// a compare-and-swap loop; the gauge never loses an update.
+func (g *Gauge) AddFloat(v float64) {
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Inc adds one.
-func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Inc() { g.AddFloat(1) }
 
 // Dec subtracts one.
-func (g *Gauge) Dec() { g.v.Add(-1) }
+func (g *Gauge) Dec() { g.AddFloat(-1) }
 
-// Value returns the current value.
-func (g *Gauge) Value() int64 { return g.v.Load() }
+// Value returns the current value truncated to an integer; FloatValue
+// preserves fractional gauges.
+func (g *Gauge) Value() int64 { return int64(g.FloatValue()) }
+
+// FloatValue returns the current value.
+func (g *Gauge) FloatValue() float64 { return math.Float64frombits(g.v.Load()) }
 
 // Histogram is a fixed-bucket latency histogram. Observations are atomic;
 // quantiles are computed at snapshot time by linear interpolation within the

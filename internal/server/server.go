@@ -36,6 +36,7 @@ import (
 	"agmdp/internal/parallel"
 	"agmdp/internal/registry"
 	"agmdp/internal/structural"
+	"agmdp/internal/tenant"
 )
 
 // Config configures a Server. Registry and Engine are required.
@@ -96,6 +97,12 @@ type Config struct {
 	// graph.DefaultChunkRows. Chunk size is a serving knob, not part of a
 	// graph's identity: any value decodes to the same graph.
 	StreamChunkRows int
+	// Tenants enables multi-tenant serving: API-key authentication on every
+	// non-operator endpoint, per-tenant token-bucket rate limits, and
+	// ε-budget admission of DP fits against the registry's persistent
+	// ledger. Nil disables tenancy entirely — the server behaves exactly as
+	// before.
+	Tenants *tenant.Registry
 }
 
 // Server handles the synthesis-service HTTP API.
@@ -109,6 +116,10 @@ type Server struct {
 	// Per-route request metrics, registered on cfg.Metrics at construction.
 	httpRequests *obs.CounterVec
 	httpDur      *obs.HistogramVec
+	// Admission-control refusals by reason (unauthorized, rate_limit,
+	// budget); registered even with tenancy disabled so dashboards can rely
+	// on the family existing.
+	admissionRejects *obs.CounterVec
 }
 
 // New builds a Server over a registry and an engine.
@@ -176,6 +187,9 @@ func New(cfg Config) (*Server, error) {
 		httpDur: cfg.Metrics.HistogramVec("agmdp_http_request_duration_seconds",
 			"Wall-clock duration of HTTP requests, by route pattern.",
 			nil, "route"),
+		admissionRejects: cfg.Metrics.CounterVec("agmdp_admission_rejects_total",
+			"Requests refused by tenant admission control, by reason.",
+			"reason"),
 	}
 
 	// Every pre-v1 route is registered twice: the versioned /v1 path is the
@@ -207,9 +221,11 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the root http.Handler of the service: the route mux behind
-// the request-instrumentation middleware (request IDs, per-route metrics,
-// one structured log line per request).
-func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+// the tenant-authentication middleware (a no-op with tenancy disabled)
+// behind the request-instrumentation middleware (request IDs, per-route
+// metrics, one structured log line per request) — so rejected and throttled
+// requests are instrumented like any other.
+func (s *Server) Handler() http.Handler { return s.instrument(s.authenticate(s.mux)) }
 
 // Close releases resources the server created itself (currently the default
 // jobs manager, which cancels running jobs and waits for them). Callers that
@@ -552,9 +568,16 @@ func (s *Server) fitParallelism(req *fitRequest) int {
 	return s.cfg.FitParallelism
 }
 
-// submitFitJob detaches a validated fit request into a job of kind "fit" and
-// answers 202 with the job snapshot.
-func (s *Server) submitFitJob(w http.ResponseWriter, req *fitRequest, g *graph.Graph) {
+// submitFitJob charges the tenant's ε-ledger (when tenancy is enabled),
+// detaches a validated fit request into a job of kind "fit" and answers 202
+// with the job snapshot. A charged fit that ends without registering a model
+// — cancelled while queued or mid-pipeline, or failed — refunds its ε
+// through the job's terminal callback.
+func (s *Server) submitFitJob(w http.ResponseWriter, r *http.Request, req *fitRequest, g *graph.Graph) {
+	refund, ok := s.admitFit(w, r, req, g)
+	if !ok {
+		return
+	}
 	id, err := s.cfg.Jobs.SubmitFit(jobs.FitSpec{
 		Graph:       g,
 		GraphID:     req.GraphID,
@@ -566,8 +589,11 @@ func (s *Server) submitFitJob(w http.ResponseWriter, req *fitRequest, g *graph.G
 		// Pre-fit the acceptance table while the model is registered, so the
 		// first sample of the finished fit pays no refinement cost.
 		WarmAcceptance: true,
+		OnDone:         onFitDone(refund),
 	})
 	if err != nil {
+		// Never ran, so nothing was released: the charge comes straight back.
+		refund()
 		writeError(w, http.StatusServiceUnavailable, "submitting fit job: %v", err)
 		return
 	}
@@ -595,7 +621,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		// Asynchronous fits run under the job manager, not the request
 		// deadline: returning a job ID instead of holding the connection is
 		// the whole point for fits that take minutes.
-		s.submitFitJob(w, &req, g)
+		s.submitFitJob(w, r, &req, g)
 		return
 	}
 	if err := ctx.Err(); err != nil {
@@ -609,21 +635,34 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	refund, ok := s.admitFit(w, r, &req, g)
+	if !ok {
+		return
+	}
 	// The same entry point the async fit jobs use, so the two paths cannot
-	// drift: an async fit registers exactly this model.
-	fitted, err := core.FitModel(dp.NewRand(req.Seed), g, core.Config{
+	// drift: an async fit registers exactly this model. The request context
+	// rides along, so a disconnected client or an expired deadline aborts the
+	// fit at the next stage boundary instead of burning workers to completion.
+	fitted, err := core.FitModel(ctx, dp.NewRand(req.Seed), g, core.Config{
 		Epsilon:     req.Epsilon,
 		TruncationK: req.TruncationK,
 		Model:       model,
 		Parallelism: par,
 	})
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		refund()
+		writeError(w, http.StatusRequestTimeout, "fit aborted: %v", err)
+		return
+	}
 	if err != nil {
+		refund()
 		writeError(w, http.StatusUnprocessableEntity, "fit failed: %v", err)
 		return
 	}
 
 	id, err := s.cfg.Registry.Put(fitted)
 	if err != nil {
+		refund()
 		writeError(w, http.StatusInternalServerError, "storing model: %v", err)
 		return
 	}

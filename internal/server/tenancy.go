@@ -1,0 +1,192 @@
+package server
+
+// Multi-tenant admission: API-key authentication, per-tenant rate limiting,
+// and ε-budget admission for DP fits. All of it is opt-in — a server built
+// without Config.Tenants behaves exactly as before (every pre-tenancy test
+// and client keeps working), while a tenant-enabled server authenticates
+// every API request, throttles per tenant, and charges each admitted DP fit
+// against the tenant's persistent ε-ledger for the fit's source graph.
+//
+// The division of labour follows the paper: fitting releases noised
+// measurements of the sensitive graph, so it is the one operation that costs
+// privacy budget and is refused once a tenant's ε for that graph is
+// exhausted. Sampling, downloads and listings post-process already-released
+// information — they stay free of ledger charges (and a test pins that a
+// budget-exhausted tenant can still sample its fitted models), bounded only
+// by the tenant's request rate.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"agmdp/internal/graph"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/tenant"
+)
+
+// apiKeyHeader is the primary credential header; Authorization: Bearer is
+// accepted as an alias for proxy ecosystems that only forward Authorization.
+const apiKeyHeader = "X-API-Key"
+
+// Admission-reject reasons (the metric label vocabulary).
+const (
+	rejectUnauthorized = "unauthorized"
+	rejectRateLimit    = "rate_limit"
+	rejectBudget       = "budget"
+)
+
+// tenantCtxKey carries the resolved *tenant.Tenant through the request
+// context.
+type tenantCtxKey struct{}
+
+// tenantFrom returns the request's authenticated tenant, nil when tenancy is
+// disabled.
+func tenantFrom(ctx context.Context) *tenant.Tenant {
+	t, _ := ctx.Value(tenantCtxKey{}).(*tenant.Tenant)
+	return t
+}
+
+// requestKey extracts the API key from a request: X-API-Key wins, then
+// Authorization: Bearer.
+func requestKey(r *http.Request) string {
+	if k := r.Header.Get(apiKeyHeader); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return key
+		}
+	}
+	return ""
+}
+
+// authExempt reports whether a path stays open without a key on a
+// tenant-enabled server: health, metrics and profiling are operator surfaces
+// scraped by infrastructure that has no tenant identity.
+func authExempt(path string) bool {
+	switch path {
+	case "/healthz", "/v1/healthz", "/metrics", "/v1/stats":
+		return true
+	}
+	return strings.HasPrefix(path, "/debug/pprof/")
+}
+
+// authenticate wraps the mux with tenant resolution and rate limiting. With
+// tenancy disabled it returns next unchanged — zero overhead, identical
+// behaviour to the pre-tenancy server.
+func (s *Server) authenticate(next http.Handler) http.Handler {
+	if s.cfg.Tenants == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t, ok := s.cfg.Tenants.Resolve(requestKey(r))
+		if !ok {
+			s.admissionRejects.With(rejectUnauthorized).Inc()
+			writeError(w, http.StatusUnauthorized, "missing or unknown API key (set %s)", apiKeyHeader)
+			return
+		}
+		if !s.cfg.Tenants.Allow(t.ID) {
+			s.admissionRejects.With(rejectRateLimit).Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "tenant %s over its request rate limit", t.ID)
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t)))
+	})
+}
+
+// budgetErrorBody is the 403 response for a refused DP fit: the uniform
+// error string plus machine-readable budget arithmetic, so a client can see
+// exactly how much ε it has left for the graph without a second call.
+type budgetErrorBody struct {
+	Error            string  `json:"error"`
+	Tenant           string  `json:"tenant"`
+	Graph            string  `json:"graph"`
+	RequestedEpsilon float64 `json:"requested_epsilon"`
+	RemainingEpsilon float64 `json:"remaining_epsilon"`
+	BudgetEpsilon    float64 `json:"budget_epsilon"`
+}
+
+// fitLedgerGraphID resolves the ledger key for a fit's source graph: the
+// stored graph's ID when fitting by reference, otherwise the content address
+// the resolved graph would be stored under. Content addressing means
+// re-uploading the same sensitive graph (or inlining it) cannot mint a fresh
+// budget account.
+func fitLedgerGraphID(req *fitRequest, g *graph.Graph) (string, error) {
+	if req.GraphID != "" {
+		return req.GraphID, nil
+	}
+	return graphstore.GraphID(g)
+}
+
+// admitFit charges the authenticated tenant's ε-ledger for a DP fit before
+// it runs. It reports whether the fit may proceed (writing the refusal
+// response itself otherwise) and returns a refund callback to invoke if the
+// admitted fit ends without ever producing a model — the one case
+// differential privacy allows the charge back. Non-private fits (ε = 0) and
+// tenancy-disabled servers admit freely with a no-op refund.
+func (s *Server) admitFit(w http.ResponseWriter, r *http.Request, req *fitRequest, g *graph.Graph) (refund func(), ok bool) {
+	noop := func() {}
+	if s.cfg.Tenants == nil || req.Epsilon <= 0 {
+		return noop, true
+	}
+	t := tenantFrom(r.Context())
+	if t == nil {
+		// Cannot happen behind the authenticate middleware; refuse closed if
+		// a future route bypasses it.
+		s.admissionRejects.With(rejectUnauthorized).Inc()
+		writeError(w, http.StatusUnauthorized, "no authenticated tenant")
+		return nil, false
+	}
+	graphID, err := fitLedgerGraphID(req, g)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "computing graph content address: %v", err)
+		return nil, false
+	}
+	remaining, err := s.cfg.Tenants.Charge(t, graphID, req.Epsilon)
+	if err != nil {
+		var be *tenant.BudgetError
+		if errors.As(err, &be) {
+			s.admissionRejects.With(rejectBudget).Inc()
+			writeJSON(w, http.StatusForbidden, budgetErrorBody{
+				Error: fmt.Sprintf("privacy budget exceeded: requested ε=%v with ε=%v remaining for graph %s",
+					req.Epsilon, be.Remaining, graphID),
+				Tenant: t.ID, Graph: graphID,
+				RequestedEpsilon: req.Epsilon,
+				RemainingEpsilon: be.Remaining,
+				BudgetEpsilon:    be.Budget,
+			})
+			return nil, false
+		}
+		// A charge that could not be durably recorded must not admit the fit.
+		writeError(w, http.StatusInternalServerError, "recording privacy spend: %v", err)
+		return nil, false
+	}
+	s.logger.Info("privacy budget charged",
+		"tenant", t.ID, "graph", graphID, "epsilon", req.Epsilon, "remaining", remaining)
+	tenantID := t.ID
+	return func() {
+		if err := s.cfg.Tenants.Refund(tenantID, graphID, req.Epsilon); err != nil {
+			s.logger.Error("privacy budget refund failed",
+				"tenant", tenantID, "graph", graphID, "epsilon", req.Epsilon, "error", err)
+		}
+	}, true
+}
+
+// onFitDone adapts a refund callback to the jobs layer's terminal hook: the
+// charge stands when the fit registered a model (even a cancelled fit that
+// got that far — its release is real) and comes back otherwise.
+func onFitDone(refund func()) func(bool) {
+	return func(produced bool) {
+		if !produced {
+			refund()
+		}
+	}
+}

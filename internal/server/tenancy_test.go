@@ -1,0 +1,439 @@
+package server
+
+// Serve-level tenancy tests: API-key authentication, per-tenant rate limits,
+// ε-budget admission of DP fits (atomic under concurrency, persistent across
+// a server restart), the paper's free-sampling guarantee for budget-exhausted
+// tenants, and refunds for fits cancelled before they produced a model.
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"agmdp/internal/engine"
+	"agmdp/internal/graph"
+	"agmdp/internal/graphstore"
+	"agmdp/internal/obs"
+	"agmdp/internal/registry"
+	"agmdp/internal/tenant"
+)
+
+// newTenantedServer builds a tenant-enabled service over the given tenants
+// config, with the ε-ledger persisted under dir (empty = in-memory). The
+// returned registry lets tests inspect spends directly.
+func newTenantedServer(t *testing.T, file tenant.File, dir string) (*httptest.Server, *tenant.Registry) {
+	t.Helper()
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, Seed: 1})
+	t.Cleanup(eng.Close)
+	tenants, err := tenant.New(file, tenant.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tenants.Close() })
+	srv, err := New(Config{
+		Registry:      reg,
+		Engine:        eng,
+		Tenants:       tenants,
+		Metrics:       obs.NewRegistry(),
+		SampleTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, tenants
+}
+
+// doAuthed issues one request with an API key (empty key = no credential).
+func doAuthed(t *testing.T, method, url, key string, body any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(data))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// tenancyFixtureGraph builds the inline fit payload and the identical local
+// graph, so tests can compute the content address the ledger keys on.
+func tenancyFixtureGraph() (payload map[string]any, g *graph.Graph) {
+	edges := [][2]int{}
+	b := graph.NewBuilder(30, 1)
+	for i := 0; i < 29; i++ {
+		edges = append(edges, [2]int{i, i + 1}, [2]int{i, (i + 2) % 30})
+		b.AddEdge(i, i+1)
+		b.AddEdge(i, (i+2)%30)
+	}
+	payload = map[string]any{"n": 30, "w": 1, "edges": edges, "attrs": make([]uint64, 30)}
+	return payload, b.Finalize()
+}
+
+func TestTenancyAuthRequired(t *testing.T) {
+	ts, _ := newTenantedServer(t, tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alpha", Key: "alpha-key"},
+	}}, "")
+
+	// No key and unknown key are both 401 on API routes.
+	for _, key := range []string{"", "wrong-key"} {
+		resp := doAuthed(t, "GET", ts.URL+"/v1/models", key, nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET /v1/models with key %q = %d, want 401", key, resp.StatusCode)
+		}
+	}
+	// The right key opens the route; Authorization: Bearer is an alias.
+	resp := doAuthed(t, "GET", ts.URL+"/v1/models", "alpha-key", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/models with valid key = %d, want 200", resp.StatusCode)
+	}
+	req, err := http.NewRequest("GET", ts.URL+"/v1/models", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer alpha-key")
+	bresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Errorf("Bearer alias = %d, want 200", bresp.StatusCode)
+	}
+	// Operator surfaces stay open without a key.
+	for _, path := range []string{"/healthz", "/v1/healthz", "/metrics", "/v1/stats"} {
+		resp := doAuthed(t, "GET", ts.URL+path, "", nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("exempt path %s without key = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTenancyRateLimit(t *testing.T) {
+	// A two-token bucket with a near-zero refill: the third request within
+	// the test's lifetime must be throttled.
+	ts, _ := newTenantedServer(t, tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alpha", Key: "alpha-key", RatePerSec: 0.001, Burst: 2},
+	}}, "")
+
+	statuses := make([]int, 0, 3)
+	var throttled *http.Response
+	for i := 0; i < 3; i++ {
+		resp := doAuthed(t, "GET", ts.URL+"/v1/models", "alpha-key", nil)
+		statuses = append(statuses, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			throttled = resp
+			defer resp.Body.Close()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if statuses[0] != http.StatusOK || statuses[1] != http.StatusOK || statuses[2] != http.StatusTooManyRequests {
+		t.Fatalf("statuses = %v, want [200 200 429]", statuses)
+	}
+	if got := throttled.Header.Get("Retry-After"); got == "" {
+		t.Error("429 without Retry-After header")
+	}
+}
+
+// TestTenancyBudgetExhaustionKeepsSamplingFree is the paper's point as a
+// serve-level test: once a tenant's ε for a graph is exhausted, further DP
+// fits are refused with the remaining budget in the body — but sampling the
+// already-fitted model stays free, because post-processing released
+// parameters costs no privacy.
+func TestTenancyBudgetExhaustionKeepsSamplingFree(t *testing.T) {
+	ts, _ := newTenantedServer(t, tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alpha", Key: "alpha-key", Budget: 1.0},
+	}}, "")
+	payload, _ := tenancyFixtureGraph()
+
+	// First fit (ε = 0.7) fits within the budget of 1.0.
+	resp := doAuthed(t, "POST", ts.URL+"/v1/fit", "alpha-key", map[string]any{
+		"graph": payload, "epsilon": 0.7, "seed": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("first fit = %d: %s", resp.StatusCode, b)
+	}
+	var fr fitResponse
+	decode(t, resp, &fr)
+
+	// Second fit (another ε = 0.7) would overdraw: 403 with the budget
+	// arithmetic in the body.
+	resp = doAuthed(t, "POST", ts.URL+"/v1/fit", "alpha-key", map[string]any{
+		"graph": payload, "epsilon": 0.7, "seed": 4,
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("over-budget fit = %d: %s", resp.StatusCode, b)
+	}
+	var be budgetErrorBody
+	decode(t, resp, &be)
+	if be.Tenant != "alpha" || be.Graph == "" {
+		t.Errorf("refusal body identifies %+v", be)
+	}
+	if be.RequestedEpsilon != 0.7 || be.BudgetEpsilon != 1.0 {
+		t.Errorf("refusal arithmetic = %+v", be)
+	}
+	if diff := be.RemainingEpsilon - 0.3; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("remaining ε = %v, want 0.3", be.RemainingEpsilon)
+	}
+	if !strings.Contains(be.Error, "budget") {
+		t.Errorf("refusal error %q does not mention the budget", be.Error)
+	}
+
+	// A non-private fit spends nothing and stays admitted.
+	resp = doAuthed(t, "POST", ts.URL+"/v1/fit", "alpha-key", map[string]any{
+		"graph": payload, "model": "fcl",
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("non-private fit after exhaustion = %d, want 200", resp.StatusCode)
+	}
+
+	// Sampling the fitted model is free: it must keep working for the
+	// (effectively) exhausted tenant, any number of times.
+	for seed := int64(1); seed <= 3; seed++ {
+		resp = doAuthed(t, "POST", ts.URL+"/v1/sample", "alpha-key", map[string]any{
+			"id": fr.ID, "seed": seed, "format": "summary",
+		})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sample %d after budget exhaustion = %d, want 200 (sampling is free)", seed, resp.StatusCode)
+		}
+	}
+}
+
+// TestTenancyConcurrentFitAdmissionAtomic fires more concurrent DP fits than
+// the budget admits: exactly budget/ε of them may pass, never one more —
+// the ledger's charge is atomic, not check-then-spend.
+func TestTenancyConcurrentFitAdmissionAtomic(t *testing.T) {
+	ts, tenants := newTenantedServer(t, tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alpha", Key: "alpha-key", Budget: 3.0},
+	}}, "")
+	payload, g := tenancyFixtureGraph()
+	graphID, err := graphstore.GraphID(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const requests = 8
+	var wg sync.WaitGroup
+	statuses := make([]int, requests)
+	for i := range requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := doAuthed(t, "POST", ts.URL+"/v1/fit", "alpha-key", map[string]any{
+				"graph": payload, "epsilon": 1.0, "seed": int64(100 + i), "async": true,
+			})
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	admitted, refused := 0, 0
+	for _, st := range statuses {
+		switch st {
+		case http.StatusAccepted:
+			admitted++
+		case http.StatusForbidden:
+			refused++
+		default:
+			t.Errorf("unexpected status %d", st)
+		}
+	}
+	if admitted != 3 || refused != requests-3 {
+		t.Fatalf("admitted %d / refused %d of %d ε=1 fits under budget 3, want exactly 3/%d",
+			admitted, refused, requests, requests-3)
+	}
+	if spent := tenants.Spent("alpha", graphID); spent != 3.0 {
+		t.Errorf("ledger spent = %v, want 3.0", spent)
+	}
+}
+
+// TestTenancyLedgerSurvivesServerRestart rebuilds the whole serving stack
+// over the same tenant directory: ε spent before the restart still counts
+// after it.
+func TestTenancyLedgerSurvivesServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	file := tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alpha", Key: "alpha-key", Budget: 1.0},
+	}}
+	payload, _ := tenancyFixtureGraph()
+
+	ts1, _ := newTenantedServer(t, file, dir)
+	resp := doAuthed(t, "POST", ts1.URL+"/v1/fit", "alpha-key", map[string]any{
+		"graph": payload, "epsilon": 0.7, "seed": 3,
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-restart fit = %d", resp.StatusCode)
+	}
+	ts1.Close()
+
+	// A fresh registry, server and ledger over the same directory: the 0.7
+	// spend must have survived, so another 0.7 is refused.
+	ts2, tenants := newTenantedServer(t, file, dir)
+	resp = doAuthed(t, "POST", ts2.URL+"/v1/fit", "alpha-key", map[string]any{
+		"graph": payload, "epsilon": 0.7, "seed": 4,
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("post-restart over-budget fit = %d: %s", resp.StatusCode, b)
+	}
+	var be budgetErrorBody
+	decode(t, resp, &be)
+	if diff := be.RemainingEpsilon - 0.3; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("post-restart remaining ε = %v, want 0.3", be.RemainingEpsilon)
+	}
+	if len(tenants.Warnings()) != 0 {
+		t.Errorf("clean ledger reloaded with warnings: %v", tenants.Warnings())
+	}
+}
+
+// TestTenancyCancelledFitRefundsBudget cancels a running async fit through
+// DELETE /v1/jobs/{id}: the request returns promptly, the job record lands
+// in a cancelled state, and — when the fit never registered a model — the
+// pre-charged ε comes back to the tenant's account.
+func TestTenancyCancelledFitRefundsBudget(t *testing.T) {
+	ts, tenants := newTenantedServer(t, tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alpha", Key: "alpha-key", Budget: 1.0},
+	}}, "")
+
+	// A dense graph keeps the fit pipeline busy long enough to land the
+	// cancel mid-flight (and if the fit wins the race anyway, the charge
+	// must stand — asserted below).
+	const n, edges = 1500, 60000
+	rng := rand.New(rand.NewSource(13))
+	b := graph.NewBuilder(n, 1)
+	payloadEdges := make([][2]int, 0, edges)
+	for i := 0; i < edges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		b.AddEdge(u, v)
+		payloadEdges = append(payloadEdges, [2]int{u, v})
+	}
+	g := b.Finalize()
+	graphID, err := graphstore.GraphID(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := map[string]any{"n": n, "w": 1, "edges": payloadEdges, "attrs": make([]uint64, n)}
+
+	resp := doAuthed(t, "POST", ts.URL+"/v1/fit", "alpha-key", map[string]any{
+		"graph": payload, "epsilon": 1.0, "seed": 3, "parallelism": 1, "async": true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("async fit = %d: %s", resp.StatusCode, b)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	decode(t, resp, &job)
+	if job.ID == "" {
+		t.Fatal("async fit returned no job ID")
+	}
+	if spent := tenants.Spent("alpha", graphID); spent != 1.0 {
+		t.Fatalf("ledger spent after admission = %v, want 1.0", spent)
+	}
+
+	// Cancel; DELETE must come back promptly (it only signals the context).
+	start := time.Now()
+	dresp := doAuthed(t, "DELETE", ts.URL+"/v1/jobs/"+job.ID, "alpha-key", nil)
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE job = %d, want 204", dresp.StatusCode)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("DELETE took %v, want prompt return", d)
+	}
+
+	// The job record must land in a terminal state; cancelled unless the fit
+	// won the race.
+	var status, modelID string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		gresp := doAuthed(t, "GET", ts.URL+"/v1/jobs/"+job.ID, "alpha-key", nil)
+		var jr struct {
+			Status  string `json:"status"`
+			ModelID string `json:"model_id"`
+		}
+		decode(t, gresp, &jr)
+		status, modelID = jr.Status, jr.ModelID
+		if status != "queued" && status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after cancel", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	switch status {
+	case "cancelled":
+		if modelID == "" {
+			// Nothing was released; the ε must come back (the refund fires
+			// just after the terminal record commits).
+			for time.Now().Before(deadline) {
+				if tenants.Spent("alpha", graphID) == 0 {
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			t.Fatalf("ε never refunded after cancelled fit; spent = %v", tenants.Spent("alpha", graphID))
+		}
+		// Cancelled after registration: the release is real, charge stands.
+		if spent := tenants.Spent("alpha", graphID); spent != 1.0 {
+			t.Errorf("cancelled-after-registration fit refunded: spent = %v, want 1.0", spent)
+		}
+	case "done":
+		if spent := tenants.Spent("alpha", graphID); spent != 1.0 {
+			t.Errorf("completed fit refunded: spent = %v, want 1.0", spent)
+		}
+	default:
+		t.Fatalf("cancelled fit ended %q", status)
+	}
+}

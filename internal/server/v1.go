@@ -246,7 +246,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		if g == nil {
 			return
 		}
-		s.submitFitJob(w, req.Fit, g)
+		s.submitFitJob(w, r, req.Fit, g)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, "unknown job kind %q (want %q or %q)", req.Kind, jobs.KindSample, jobs.KindFit)

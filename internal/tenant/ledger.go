@@ -1,0 +1,237 @@
+package tenant
+
+// The ε-ledger: a persistent, crash-safe account of how much privacy budget
+// each tenant has spent against each sensitive source graph. The paper's
+// post-processing property makes this the only account the service needs —
+// fitting a model under ε-DP spends ε once, and sampling the fitted model is
+// free forever after — so the ledger records fits only, keyed by
+// (tenant, graph content address).
+//
+// Persistence is an append-only JSONL file (Dir/ledger.jsonl): every admitted
+// charge appends one line and syncs it to disk *before* the fit is allowed to
+// run, so a crash can never lose a spend that released information. Refunds
+// (for fits that were cancelled or failed before producing a model) append
+// negative-ε lines; losing a refund to a crash errs in the conservative
+// direction. On load, lines that fail to parse are skipped and reported via
+// Warnings rather than failing the open.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ledgerFile is the append-only spend log inside the tenant directory.
+const ledgerFile = "ledger.jsonl"
+
+// spendTol absorbs floating-point rounding when charges nominally sum to the
+// budget (mirrors dp.Budget.Spend's tolerance).
+const spendTol = 1e-9
+
+// entry is one JSONL line of the ledger. Epsilon is negative for refunds.
+type entry struct {
+	Tenant  string    `json:"tenant"`
+	Graph   string    `json:"graph"`
+	Epsilon float64   `json:"epsilon"`
+	At      time.Time `json:"at"`
+}
+
+// ledgerKey identifies one (tenant, graph) account.
+type ledgerKey struct{ tenant, graph string }
+
+// Ledger tracks ε spent per (tenant, graph), optionally persisted as
+// append-only JSONL. Safe for concurrent use; Charge is atomic — under
+// concurrent requests exactly the charges that fit under the budget are
+// admitted, never one more.
+type Ledger struct {
+	mu         sync.Mutex
+	f          *os.File // nil when in-memory or closed
+	persistent bool     // opened with a directory: appends must be durable
+	spent      map[ledgerKey]float64
+	warnings   []string
+	clock      func() time.Time
+}
+
+// OpenLedger opens (or creates) the ledger under dir; an empty dir keeps the
+// ledger in memory only. Existing entries are replayed into the in-memory
+// totals; unparseable lines are skipped and reported via Warnings.
+func OpenLedger(dir string) (*Ledger, error) {
+	l := &Ledger{spent: make(map[ledgerKey]float64), clock: time.Now}
+	if dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tenant: creating ledger directory: %w", err)
+	}
+	path := filepath.Join(dir, ledgerFile)
+	if data, err := os.ReadFile(path); err == nil {
+		l.replay(path, data)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("tenant: reading ledger: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: opening ledger for append: %w", err)
+	}
+	l.f = f
+	l.persistent = true
+	return l, nil
+}
+
+// replay accumulates the persisted entries into the in-memory totals. A
+// torn final line (crash mid-append before the sync completed — in which case
+// the charge was never admitted) or any other unparseable line is skipped
+// with a warning; totals are clamped at zero so a stray refund line can never
+// manufacture budget.
+func (l *Ledger) replay(path string, data []byte) {
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			l.warnings = append(l.warnings, fmt.Sprintf("%s:%d: %v", path, i+1, err))
+			continue
+		}
+		if e.Tenant == "" || e.Graph == "" {
+			l.warnings = append(l.warnings, fmt.Sprintf("%s:%d: entry missing tenant or graph", path, i+1))
+			continue
+		}
+		k := ledgerKey{e.Tenant, e.Graph}
+		l.spent[k] += e.Epsilon
+		if l.spent[k] < 0 {
+			l.spent[k] = 0
+		}
+		budgetSpentGauge.With(e.Tenant, e.Graph).SetFloat(l.spent[k])
+	}
+}
+
+// Warnings reports ledger lines skipped on load. Each is a spend record that
+// no longer counts — operators should reconcile them, because a skipped
+// charge under-counts a tenant's true privacy spend.
+func (l *Ledger) Warnings() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.warnings...)
+}
+
+// Spent returns the ε charged so far against one (tenant, graph) account.
+func (l *Ledger) Spent(tenant, graph string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spent[ledgerKey{tenant, graph}]
+}
+
+// BudgetError reports a refused charge, carrying the remaining budget so the
+// serving layer can tell the tenant exactly how much ε they have left for
+// the graph.
+type BudgetError struct {
+	Tenant    string
+	Graph     string
+	Requested float64
+	Remaining float64
+	Budget    float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("tenant %s: requested ε=%v exceeds remaining budget %v of %v for graph %s",
+		e.Tenant, e.Requested, e.Remaining, e.Budget, e.Graph)
+}
+
+// Charge atomically admits eps against the (tenant, graph) account if the
+// running total stays within budget, persisting the entry (synced to disk)
+// before reporting success. On refusal nothing is charged and the returned
+// error is a *BudgetError carrying the remaining budget. The charge must
+// happen *before* the fit runs: differential privacy accounting has to be
+// pessimistic, because once noised measurements are released there is no
+// taking them back.
+func (l *Ledger) Charge(tenant, graph string, eps, budget float64) (remaining float64, err error) {
+	if eps <= 0 {
+		return 0, fmt.Errorf("tenant: cannot charge non-positive epsilon %v", eps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ledgerKey{tenant, graph}
+	spent := l.spent[k]
+	if spent+eps > budget+spendTol {
+		return budget - spent, &BudgetError{
+			Tenant: tenant, Graph: graph,
+			Requested: eps, Remaining: budget - spent, Budget: budget,
+		}
+	}
+	if err := l.append(entry{Tenant: tenant, Graph: graph, Epsilon: eps, At: l.clock()}); err != nil {
+		// The entry may or may not have hit disk; treat it as charged in
+		// memory so the in-process view stays pessimistic, but refuse the
+		// admission — a spend we cannot durably record must not run.
+		l.spent[k] = spent + eps
+		budgetSpentGauge.With(tenant, graph).SetFloat(l.spent[k])
+		return budget - l.spent[k], fmt.Errorf("tenant: persisting ledger entry: %w", err)
+	}
+	l.spent[k] = spent + eps
+	budgetSpentGauge.With(tenant, graph).SetFloat(l.spent[k])
+	return budget - l.spent[k], nil
+}
+
+// Refund returns eps to the (tenant, graph) account, clamped so the spent
+// total never goes negative. It exists for admission accounting only: a fit
+// whose charge was admitted but which was cancelled or failed before any
+// fitted model existed released nothing, so its ε can be returned. It must
+// never be called for a fit that produced a model (see dp.Budget.Refund for
+// the same contract one layer down).
+func (l *Ledger) Refund(tenant, graph string, eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("tenant: cannot refund non-positive epsilon %v", eps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ledgerKey{tenant, graph}
+	if err := l.append(entry{Tenant: tenant, Graph: graph, Epsilon: -eps, At: l.clock()}); err != nil {
+		return fmt.Errorf("tenant: persisting ledger refund: %w", err)
+	}
+	l.spent[k] -= eps
+	if l.spent[k] < 0 {
+		l.spent[k] = 0
+	}
+	budgetSpentGauge.With(tenant, graph).SetFloat(l.spent[k])
+	return nil
+}
+
+// append writes one entry line and syncs it. Callers hold l.mu. A persistent
+// ledger whose append handle is gone (Close raced a charge) refuses rather
+// than silently dropping durability.
+func (l *Ledger) append(e entry) error {
+	if !l.persistent {
+		return nil
+	}
+	if l.f == nil {
+		return errLedgerClosed
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+var errLedgerClosed = fmt.Errorf("ledger closed")
+
+// Close releases the append handle. Charges against a persistent ledger fail
+// after Close; in-memory ledgers keep working.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

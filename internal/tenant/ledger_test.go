@@ -1,0 +1,264 @@
+package tenant
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChargeConcurrentNeverOverCommits races many goroutines against one
+// budget: exactly the charges that fit are admitted — never one more — and
+// the final spent total equals the budget.
+func TestChargeConcurrentNeverOverCommits(t *testing.T) {
+	l, err := OpenLedger("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		budget  = 10.0
+		eps     = 1.0
+		callers = 100
+	)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		admitted int
+		refused  int
+	)
+	for range callers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := l.Charge("t1", "g1", eps, budget)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				admitted++
+			} else {
+				var be *BudgetError
+				if !asBudgetError(err, &be) {
+					t.Errorf("unexpected charge error: %v", err)
+				}
+				refused++
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 10 || refused != callers-10 {
+		t.Errorf("admitted %d, refused %d; want exactly 10 admitted", admitted, refused)
+	}
+	if got := l.Spent("t1", "g1"); got != budget {
+		t.Errorf("spent %v, want %v", got, budget)
+	}
+	// One more charge must carry the arithmetic in its BudgetError.
+	remaining, err := l.Charge("t1", "g1", eps, budget)
+	var be *BudgetError
+	if !asBudgetError(err, &be) {
+		t.Fatalf("expected *BudgetError, got %v", err)
+	}
+	if remaining != 0 || be.Remaining != 0 || be.Budget != budget || be.Requested != eps {
+		t.Errorf("BudgetError = %+v (remaining %v), want remaining 0 of %v", be, remaining, budget)
+	}
+}
+
+// asBudgetError is errors.As without the import noise in assertions.
+func asBudgetError(err error, target **BudgetError) bool {
+	be, ok := err.(*BudgetError)
+	if ok {
+		*target = be
+	}
+	return ok
+}
+
+// TestLedgerRestartRoundTrip persists charges and a refund, reopens the
+// ledger from disk, and expects the same totals — a restarted service
+// remembers every ε ever spent.
+func TestLedgerRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCharge := func(tenant, graph string, eps float64) {
+		t.Helper()
+		if _, err := l.Charge(tenant, graph, eps, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCharge("t1", "g1", 0.5)
+	mustCharge("t1", "g1", 1.5)
+	mustCharge("t1", "g2", 3.0)
+	mustCharge("t2", "g1", 0.25)
+	if err := l.Refund("t1", "g1", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if w := re.Warnings(); len(w) != 0 {
+		t.Errorf("unexpected warnings on clean reload: %v", w)
+	}
+	for _, tc := range []struct {
+		tenant, graph string
+		want          float64
+	}{
+		{"t1", "g1", 0.5},
+		{"t1", "g2", 3.0},
+		{"t2", "g1", 0.25},
+		{"t2", "g2", 0},
+	} {
+		if got := re.Spent(tc.tenant, tc.graph); got != tc.want {
+			t.Errorf("Spent(%s, %s) = %v after reload, want %v", tc.tenant, tc.graph, got, tc.want)
+		}
+	}
+}
+
+// TestLedgerClosedRefusesCharges pins the durability contract: a persistent
+// ledger whose append handle is closed refuses admission rather than
+// recording spends only in memory.
+func TestLedgerClosedRefusesCharges(t *testing.T) {
+	l, err := OpenLedger(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Charge("t1", "g1", 1, 100); err == nil {
+		t.Fatal("charge after Close succeeded; want durable-record failure")
+	}
+}
+
+// TestLedgerCorruptLinesSkipped loads a ledger with garbage, a torn final
+// line and an incomplete entry mixed between good lines: the good totals
+// survive, each bad line produces a warning, and a stray refund can never
+// push a total negative.
+func TestLedgerCorruptLinesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	lines := []string{
+		`{"tenant":"t1","graph":"g1","epsilon":1.5,"at":"2026-01-02T03:04:05Z"}`,
+		`not json at all`,
+		`{"tenant":"","graph":"g1","epsilon":4}`,                                 // incomplete: no tenant
+		`{"tenant":"t2","graph":"g1","epsilon":-9}`,                              // refund exceeding spends: clamps to 0
+		`{"tenant":"t1","graph":"g1","epsilon":0.5,"at":"2026-01-02T03:04:06Z"}`, // good
+		`{"tenant":"t1","graph":"g1","eps`,                                       // torn mid-append
+	}
+	path := filepath.Join(dir, ledgerFile)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.Spent("t1", "g1"); got != 2.0 {
+		t.Errorf("Spent(t1, g1) = %v, want 2.0 from the two good lines", got)
+	}
+	if got := l.Spent("t2", "g1"); got != 0 {
+		t.Errorf("Spent(t2, g1) = %v, want 0 (refund clamped)", got)
+	}
+	w := l.Warnings()
+	if len(w) != 3 {
+		t.Fatalf("got %d warnings %v, want 3 (garbage, incomplete, torn)", len(w), w)
+	}
+	for _, warning := range w {
+		if !strings.Contains(warning, ledgerFile) {
+			t.Errorf("warning %q does not name the ledger file", warning)
+		}
+	}
+	// The reopened ledger still admits charges on top of the replayed state.
+	if _, err := l.Charge("t1", "g1", 1, 100); err != nil {
+		t.Fatalf("charge after corrupt-skip reload: %v", err)
+	}
+	if got := l.Spent("t1", "g1"); got != 3.0 {
+		t.Errorf("Spent after charge = %v, want 3.0", got)
+	}
+}
+
+// TestRefundClampsAtZero: refunding more than was spent leaves zero, never a
+// negative balance that would mint budget.
+func TestRefundClampsAtZero(t *testing.T) {
+	l, err := OpenLedger("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Charge("t1", "g1", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Refund("t1", "g1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Spent("t1", "g1"); got != 0 {
+		t.Errorf("spent %v after over-refund, want 0", got)
+	}
+	if err := l.Refund("t1", "g1", 0); err == nil {
+		t.Error("zero refund accepted; want error")
+	}
+	if _, err := l.Charge("t1", "g1", -1, 10); err == nil {
+		t.Error("negative charge accepted; want error")
+	}
+}
+
+// TestChargeToleratesRounding: charges that nominally sum to the budget
+// admit despite float rounding (ten 0.1-charges against budget 1.0).
+func TestChargeToleratesRounding(t *testing.T) {
+	l, err := OpenLedger("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 10 {
+		if _, err := l.Charge("t1", "g1", 0.1, 1.0); err != nil {
+			t.Fatalf("charge %d refused: %v", i+1, err)
+		}
+	}
+	if _, err := l.Charge("t1", "g1", 0.1, 1.0); err == nil {
+		t.Error("11th 0.1-charge admitted over budget 1.0")
+	}
+}
+
+// BenchmarkLedgerSpendMemory measures the in-memory charge path — the
+// admission-control hot path when no tenant directory is configured.
+func BenchmarkLedgerSpendMemory(b *testing.B) {
+	l, err := OpenLedger("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkLedgerSpend(b, l)
+}
+
+// BenchmarkLedgerSpendPersisted measures the durable charge path: one JSONL
+// append plus fsync per admitted fit. The fsync dominates — this is the price
+// of never losing a spend to a crash.
+func BenchmarkLedgerSpendPersisted(b *testing.B) {
+	l, err := OpenLedger(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	benchmarkLedgerSpend(b, l)
+}
+
+func benchmarkLedgerSpend(b *testing.B, l *Ledger) {
+	clock := time.Unix(0, 0)
+	l.clock = func() time.Time { return clock }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := range b.N {
+		// A fresh graph account each charge keeps every admission under
+		// budget, so the benchmark never measures the refusal path.
+		if _, err := l.Charge("bench", fmt.Sprintf("g%d", i), 0.5, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package tenant
+
+// Per-tenant token-bucket rate limiting. One bucket per tenant, refilled
+// continuously at the tenant's configured rate up to its burst depth; each
+// admitted request consumes one token. The bucket is deliberately tiny —
+// admission control sits on every request, so the fast path is one mutex,
+// one clock delta and two float operations.
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a standard continuous-refill token bucket.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// newBucket builds a full bucket (a fresh tenant gets its whole burst).
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// allow consumes one token if available, refilling for the time elapsed
+// since the last call first. A clock that jumps backwards (NTP step) just
+// skips the refill for that call.
+func (b *bucket) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

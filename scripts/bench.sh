@@ -27,6 +27,9 @@
 #                chunked codec vs the monolithic snapshot codec; the serve
 #                pairs additionally record allocated-bytes reductions
 #                (alloc_reductions), the O(shard)-memory claim
+#   PR 9 pairs — the ε-ledger admission hot path: the in-memory charge vs
+#                the durable (JSONL append + fsync) charge — the ratio is
+#                the price of crash-safe privacy accounting per admitted fit
 #
 # BENCH_PKGS overrides the benchmarked packages (the root package holds the
 # much slower paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
@@ -35,8 +38,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
-pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/ ./internal/graphstore/}"
+out="${1:-BENCH_pr9.json}"
+pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/ ./internal/graphstore/ ./internal/tenant/}"
 benchtime="1s"
 if [ "${BENCH_SHORT:-0}" != "0" ]; then
   benchtime="100ms"
@@ -130,6 +133,11 @@ pairs = {
         "BenchmarkWriteGraphBinary", "BenchmarkWriteBinaryChunked"),
     "read_chunked_vs_monolithic": (
         "BenchmarkReadGraphBinary", "BenchmarkReadBinaryChunked"),
+    # PR 9: the ε-ledger admission hot path — the in-memory charge vs the
+    # durable JSONL append + fsync charge (the speedup is what skipping
+    # durability buys; the persisted number is the real admission cost).
+    "ledger_spend_memory_vs_persisted": (
+        "BenchmarkLedgerSpendPersisted", "BenchmarkLedgerSpendMemory"),
 }
 speedups = {}
 for key, (base, new) in pairs.items():
