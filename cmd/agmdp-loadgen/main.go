@@ -263,27 +263,35 @@ func load(cfg config, stdout io.Writer) error {
 		keys: cfg.keys,
 	}
 
-	// Setup: one synchronous fit gives the sample traffic a model, one stored
-	// sample gives the download traffic a graph. Both ride the first tenant's
-	// key (and budget — setup spends ε once).
-	setupKey := c.key()
+	// Setup: a synchronous fit gives the sample traffic a model, a stored
+	// sample gives the download traffic a graph. Every virtual tenant runs
+	// its own setup (spending ε once per tenant): a tenant-scoped server
+	// confines each tenant to its own resources, and because fit and sample
+	// are deterministic for equal seeds, the content-addressed IDs coincide
+	// across tenants — one model ID, one graph ID, N independent handles.
+	setupKeys := cfg.keys
+	if len(setupKeys) == 0 {
+		setupKeys = []string{""}
+	}
 	var fitted struct {
 		ID string `json:"id"`
-	}
-	fitBody := map[string]any{
-		"dataset": map[string]any{"name": cfg.dataset, "scale": cfg.scale, "seed": cfg.seed},
-		"epsilon": cfg.epsilon,
-		"seed":    cfg.seed,
-	}
-	if _, err := c.doJSON("POST", "/v1/fit", setupKey, fitBody, &fitted); err != nil {
-		return fmt.Errorf("setup fit: %w", err)
 	}
 	var sampled struct {
 		GraphID string `json:"graph_id"`
 	}
-	sampleStore := map[string]any{"id": fitted.ID, "seed": cfg.seed, "store": true}
-	if _, err := c.doJSON("POST", "/v1/sample", setupKey, sampleStore, &sampled); err != nil {
-		return fmt.Errorf("setup sample: %w", err)
+	for _, setupKey := range setupKeys {
+		fitBody := map[string]any{
+			"dataset": map[string]any{"name": cfg.dataset, "scale": cfg.scale, "seed": cfg.seed},
+			"epsilon": cfg.epsilon,
+			"seed":    cfg.seed,
+		}
+		if _, err := c.doJSON("POST", "/v1/fit", setupKey, fitBody, &fitted); err != nil {
+			return fmt.Errorf("setup fit: %w", err)
+		}
+		sampleStore := map[string]any{"id": fitted.ID, "seed": cfg.seed, "store": true}
+		if _, err := c.doJSON("POST", "/v1/sample", setupKey, sampleStore, &sampled); err != nil {
+			return fmt.Errorf("setup sample: %w", err)
+		}
 	}
 	fmt.Fprintf(stdout, "setup: model %s, graph %s; %d workers, %v, %d tenant key(s)\n",
 		fitted.ID, sampled.GraphID, cfg.concurrency, cfg.duration, max(1, len(cfg.keys)))

@@ -44,8 +44,12 @@
 // X-API-Key (or Authorization: Bearer), each tenant gets a token-bucket rate
 // limit, and every DP fit is charged against the tenant's per-graph ε-budget
 // — refused with 403 once exhausted. Sampling fitted models stays free (the
-// post-processing property). -tenant-dir persists the ε-ledger as append-only
-// JSONL so spends survive restarts.
+// post-processing property). Each tenant is confined to the graphs, models
+// and jobs it created — cross-tenant access answers 404 — and the operator
+// surfaces (/metrics, /v1/stats, /debug/pprof/) require the tenants file's
+// operator_token, since they export per-tenant ε spends. -tenant-dir
+// persists the ε-ledger (ledger.jsonl) and the ownership log (owners.jsonl)
+// as append-only JSONL so spends and scoping survive restarts.
 //
 // The original unversioned endpoints (/fit, /sample, /models…, /healthz)
 // remain as aliases of the v1 handlers.

@@ -50,13 +50,14 @@ type FitSpec struct {
 	// store, so the first default-shaped sample skips the refinement rounds.
 	WarmAcceptance bool
 	// OnDone, when non-nil, is invoked exactly once when the job reaches a
-	// terminal status, with produced reporting whether a fitted model was
-	// registered in the model store. The tenancy layer uses it to refund a
-	// pre-charged privacy budget when a cancelled or failed fit released
-	// nothing (produced == false); a fit cancelled only after registration
-	// still reports produced == true, because its model — and therefore its
-	// privacy spend — is real.
-	OnDone func(produced bool)
+	// terminal status, with the registered model's content-addressed ID —
+	// empty when the fit was cancelled or failed before any model landed in
+	// the model store. The tenancy layer uses it to refund a pre-charged
+	// privacy budget when a fit released nothing (empty ID) and to record
+	// the submitting tenant as the model's owner otherwise; a fit cancelled
+	// only after registration still reports its ID, because its model — and
+	// therefore its privacy spend — is real.
+	OnDone func(modelID string)
 }
 
 // SubmitFit accepts a fit job and starts it in the background, returning its
@@ -146,7 +147,7 @@ func (m *Manager) runFit(ctx context.Context, j *job) {
 // finishFit moves a fit job to its terminal state and fires the OnDone
 // callback (after the terminal record is committed, so a refund triggered by
 // the callback can never race a restart that still shows the job running).
-func (m *Manager) finishFit(j *job, ctx context.Context, result *FitResult, failed bool, onDone func(bool)) {
+func (m *Manager) finishFit(j *job, ctx context.Context, result *FitResult, failed bool, onDone func(string)) {
 	m.finish(j, func(info *Info) {
 		switch {
 		case ctx.Err() != nil:
@@ -170,7 +171,11 @@ func (m *Manager) finishFit(j *job, ctx context.Context, result *FitResult, fail
 		}
 	})
 	if onDone != nil {
-		onDone(result != nil && result.ModelID != "")
+		var modelID string
+		if result != nil {
+			modelID = result.ModelID
+		}
+		onDone(modelID)
 	}
 }
 

@@ -68,17 +68,17 @@ func TestFitJobQueuedStateVisible(t *testing.T) {
 }
 
 // TestFitJobCancelWhileQueued cancels a fit that never got a slot: it must
-// finish as cancelled without running the pipeline, and OnDone must report
-// produced == false — the tenancy layer's cue to refund the pre-charged ε.
+// finish as cancelled without running the pipeline, and OnDone must report an
+// empty model ID — the tenancy layer's cue to refund the pre-charged ε.
 func TestFitJobCancelWhileQueued(t *testing.T) {
 	m := newBoundedFitManager(t)
 	m.fitSem <- struct{}{}
 	defer func() { <-m.fitSem }()
 
-	donec := make(chan bool, 1)
+	donec := make(chan string, 1)
 	id, err := m.SubmitFit(FitSpec{
 		Graph: fixtureGraph(t), Epsilon: 1, Seed: 3,
-		OnDone: func(p bool) { donec <- p },
+		OnDone: func(modelID string) { donec <- modelID },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,28 +93,28 @@ func TestFitJobCancelWhileQueued(t *testing.T) {
 	if info.Fit != nil || info.ModelID != "" {
 		t.Errorf("cancelled queued fit carries a result: %+v", info)
 	}
-	if p := recvProduced(t, donec); p {
-		t.Error("OnDone produced = true for a fit that never ran, want false")
+	if mid := recvModelID(t, donec); mid != "" {
+		t.Errorf("OnDone model ID = %q for a fit that never ran, want empty", mid)
 	}
 }
 
-// recvProduced receives the OnDone callback's value with a timeout (OnDone
+// recvModelID receives the OnDone callback's value with a timeout (OnDone
 // fires after the terminal record commits, which can trail Wait slightly).
-func recvProduced(t *testing.T, donec <-chan bool) bool {
+func recvModelID(t *testing.T, donec <-chan string) string {
 	t.Helper()
 	select {
-	case p := <-donec:
-		return p
+	case mid := <-donec:
+		return mid
 	case <-time.After(10 * time.Second):
 		t.Fatal("OnDone never fired")
-		return false
+		return ""
 	}
 }
 
 // TestFitJobCancelRunningPromptly cancels a fit mid-pipeline on a graph big
 // enough that the pipeline is still in flight: the job must reach
 // StatusCancelled promptly (the context aborts at the next stage boundary)
-// and report produced == false.
+// and report an empty model ID.
 func TestFitJobCancelRunningPromptly(t *testing.T) {
 	reg, err := registry.Open(registry.Options{})
 	if err != nil {
@@ -142,10 +142,10 @@ func TestFitJobCancelRunningPromptly(t *testing.T) {
 	}
 	g := b.Finalize()
 
-	donec := make(chan bool, 1)
+	donec := make(chan string, 1)
 	id, err := m.SubmitFit(FitSpec{
 		Graph: g, Epsilon: 1, Seed: 3, Parallelism: 1,
-		OnDone: func(p bool) { donec <- p },
+		OnDone: func(modelID string) { donec <- modelID },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -175,19 +175,16 @@ func TestFitJobCancelRunningPromptly(t *testing.T) {
 	}
 	elapsed := time.Since(start)
 	info, _, _ := m.Get(id)
-	p := recvProduced(t, donec)
+	mid := recvModelID(t, donec)
 	switch info.Status {
 	case StatusCancelled:
-		if info.ModelID == "" && p {
-			t.Error("cancelled fit without a model reported produced == true")
-		}
-		if info.ModelID != "" && !p {
-			t.Error("cancelled fit that registered a model reported produced == false")
+		if mid != info.ModelID {
+			t.Errorf("OnDone model ID = %q, cancelled record carries %q", mid, info.ModelID)
 		}
 	case StatusDone:
 		// The fit won the race with the cancel; the charge must then stand.
-		if !p {
-			t.Error("completed fit reported produced == false")
+		if mid == "" {
+			t.Error("completed fit reported an empty model ID")
 		}
 	default:
 		t.Fatalf("cancelled fit ended %v", info.Status)
@@ -200,14 +197,14 @@ func TestFitJobCancelRunningPromptly(t *testing.T) {
 }
 
 // TestFitJobOnDoneProducedTrue pins the other half of the refund contract: a
-// fit that completes and registers its model reports produced == true, so
-// the ε charge stands.
+// fit that completes and registers its model reports the model's ID (the
+// tenancy layer's cue to let the ε charge stand and grant ownership).
 func TestFitJobOnDoneProducedTrue(t *testing.T) {
 	m, _ := newFitManager(t, "")
-	donec := make(chan bool, 1)
+	donec := make(chan string, 1)
 	id, err := m.SubmitFit(FitSpec{
 		Graph: fixtureGraph(t), Epsilon: 1, Seed: 3,
-		OnDone: func(p bool) { donec <- p },
+		OnDone: func(modelID string) { donec <- modelID },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -216,8 +213,8 @@ func TestFitJobOnDoneProducedTrue(t *testing.T) {
 	if info.Status != StatusDone {
 		t.Fatalf("fit ended %v", info.Status)
 	}
-	if !recvProduced(t, donec) {
-		t.Error("OnDone produced = false for a completed fit, want true")
+	if mid := recvModelID(t, donec); mid == "" || mid != info.ModelID {
+		t.Errorf("OnDone model ID = %q, want the registered %q", mid, info.ModelID)
 	}
 }
 

@@ -112,6 +112,10 @@ type Spec struct {
 	// Store, when true, stores every sampled graph into the manager's graph
 	// store and records its content-addressed ID in the sample result.
 	Store bool
+	// OnStored, when non-nil, is invoked once per graph the job stores, with
+	// its content-addressed ID. The tenancy layer uses it to record the
+	// submitting tenant as the stored graph's owner.
+	OnStored func(graphID string)
 }
 
 // SampleResult is the outcome of one sample within a job.
@@ -503,6 +507,9 @@ func (m *Manager) runSample(ctx context.Context, j *job, i int) {
 		res.GraphID, err = m.opts.Store.PutSource(src)
 		recordStage(j, KindSample, "store", time.Since(start))
 		stored = err == nil
+		if stored && j.spec.OnStored != nil {
+			j.spec.OnStored(res.GraphID)
+		}
 	}
 	if err != nil {
 		res.Error = err.Error()
@@ -606,6 +613,24 @@ func (m *Manager) removeLocked(id string) {
 		}
 	}
 }
+
+// AcquireFitSlot blocks for one of the manager's bounded fit slots
+// (Options.MaxConcurrentFits) — the same pool the asynchronous fit jobs
+// queue on — until one frees or the context expires. The serving layer
+// routes synchronous fits through it so sync traffic cannot defeat the fit
+// admission bound. Callers that acquired a slot must release it with
+// ReleaseFitSlot.
+func (m *Manager) AcquireFitSlot(ctx context.Context) error {
+	select {
+	case m.fitSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ReleaseFitSlot returns a slot taken with AcquireFitSlot.
+func (m *Manager) ReleaseFitSlot() { <-m.fitSem }
 
 // Wait blocks until the job reaches a terminal status or the context
 // expires. It reports false for unknown jobs.

@@ -51,9 +51,10 @@ type Config struct {
 	// Close shuts it down).
 	Jobs *jobs.Manager
 	// FitTimeout bounds synchronous POST /fit requests (default 5 minutes).
-	// Fitting runs in the request goroutine; the deadline rejects queued
-	// work, it cannot interrupt a fit already in progress. Asynchronous fits
-	// (async:true, or jobs of kind "fit") are not bounded by it.
+	// Fitting runs in the request goroutine under a context carrying this
+	// deadline: it bounds the wait for one of the jobs manager's fit slots
+	// and aborts an in-progress fit at its next stage boundary. Asynchronous
+	// fits (async:true, or jobs of kind "fit") are not bounded by it.
 	FitTimeout time.Duration
 	// FitParallelism is the default worker count for the fit pipeline's
 	// measurement passes when a fit request carries no positive parallelism
@@ -97,11 +98,12 @@ type Config struct {
 	// graph.DefaultChunkRows. Chunk size is a serving knob, not part of a
 	// graph's identity: any value decodes to the same graph.
 	StreamChunkRows int
-	// Tenants enables multi-tenant serving: API-key authentication on every
-	// non-operator endpoint, per-tenant token-bucket rate limits, and
-	// ε-budget admission of DP fits against the registry's persistent
-	// ledger. Nil disables tenancy entirely — the server behaves exactly as
-	// before.
+	// Tenants enables multi-tenant serving: API-key authentication, per-
+	// tenant token-bucket rate limits, ε-budget admission of DP fits against
+	// the registry's persistent ledger, per-tenant resource scoping (each
+	// tenant sees only the graphs, models and jobs it created), and operator-
+	// token gating of /metrics, /v1/stats and /debug/pprof/. Nil disables
+	// tenancy entirely — the server behaves exactly as before.
 	Tenants *tenant.Registry
 }
 
@@ -345,11 +347,25 @@ type listModelsResponse struct {
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, listModelsResponse{Models: s.cfg.Registry.List()})
+	models := s.cfg.Registry.List()
+	if s.cfg.Tenants != nil {
+		scoped := models[:0]
+		for _, info := range models {
+			if s.canAccess(r, tenant.ResourceModel, info.ID) {
+				scoped = append(scoped, info)
+			}
+		}
+		models = scoped
+	}
+	writeJSON(w, http.StatusOK, listModelsResponse{Models: models})
 }
 
 func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if !s.canAccess(r, tenant.ResourceModel, id) {
+		writeError(w, http.StatusNotFound, "no model %q", id)
+		return
+	}
 	if full := r.URL.Query().Get("full"); full != "" && full != "0" && full != "false" {
 		data, ok := s.cfg.Registry.Bytes(id)
 		if !ok {
@@ -371,9 +387,18 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEvictModel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.cfg.Registry.Evict(id) {
+	if !s.canAccess(r, tenant.ResourceModel, id) {
 		writeError(w, http.StatusNotFound, "no model %q", id)
 		return
+	}
+	// Content addressing means another tenant may hold a handle on the same
+	// model bytes: dropping this tenant's handle evicts the shared model only
+	// when it was the last.
+	if s.releaseResource(r, tenant.ResourceModel, id) {
+		if !s.cfg.Registry.Evict(id) && s.cfg.Tenants == nil {
+			writeError(w, http.StatusNotFound, "no model %q", id)
+			return
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -506,9 +531,10 @@ func (s *Server) validateFitRequest(w http.ResponseWriter, req *fitRequest) bool
 }
 
 // resolveFitInput materialises the fit input — inline payload, stored graph,
-// or server-side dataset — enforcing the configured limits. It writes the
+// or server-side dataset — enforcing the configured limits and, on a tenant-
+// enabled server, the caller's access to the stored graph. It writes the
 // error response itself; the graph is nil when the request cannot proceed.
-func (s *Server) resolveFitInput(w http.ResponseWriter, req *fitRequest) *graph.Graph {
+func (s *Server) resolveFitInput(w http.ResponseWriter, r *http.Request, req *fitRequest) *graph.Graph {
 	switch {
 	case req.Graph != nil:
 		if req.Graph.N > s.cfg.MaxFitNodes {
@@ -526,6 +552,13 @@ func (s *Server) resolveFitInput(w http.ResponseWriter, req *fitRequest) *graph.
 		}
 		return g
 	case req.GraphID != "":
+		// The access check comes first: fitting by reference reads the stored
+		// sensitive graph, so another tenant's graph must look exactly like a
+		// missing one.
+		if !s.canAccess(r, tenant.ResourceGraph, req.GraphID) {
+			writeError(w, http.StatusNotFound, "no graph %q", req.GraphID)
+			return nil
+		}
 		g, ok := s.cfg.Graphs.Get(req.GraphID)
 		if !ok {
 			writeError(w, http.StatusNotFound, "no graph %q", req.GraphID)
@@ -589,7 +622,7 @@ func (s *Server) submitFitJob(w http.ResponseWriter, r *http.Request, req *fitRe
 		// Pre-fit the acceptance table while the model is registered, so the
 		// first sample of the finished fit pays no refinement cost.
 		WarmAcceptance: true,
-		OnDone:         onFitDone(refund),
+		OnDone:         s.onFitDone(r, refund),
 	})
 	if err != nil {
 		// Never ran, so nothing was released: the charge comes straight back.
@@ -597,6 +630,7 @@ func (s *Server) submitFitJob(w http.ResponseWriter, r *http.Request, req *fitRe
 		writeError(w, http.StatusServiceUnavailable, "submitting fit job: %v", err)
 		return
 	}
+	s.grantFor(r, tenant.ResourceJob, id)
 	info, _, _ := s.cfg.Jobs.Get(id)
 	writeJSON(w, http.StatusAccepted, jobResponse{Info: info})
 }
@@ -613,7 +647,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if !s.validateFitRequest(w, &req) {
 		return
 	}
-	g := s.resolveFitInput(w, &req)
+	g := s.resolveFitInput(w, r, &req)
 	if g == nil {
 		return
 	}
@@ -635,6 +669,17 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Synchronous fits take the same bounded fit slots the async jobs queue
+	// on — otherwise N sync requests would defeat the -max-concurrent-fits
+	// admission bound entirely. The wait is capped by the fit deadline; a
+	// saturated server answers 503 rather than stacking unbounded pipelines.
+	if err := s.cfg.Jobs.AcquireFitSlot(ctx); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"all fit slots busy: %v (retry later or submit with async:true to queue)", err)
+		return
+	}
+	defer s.cfg.Jobs.ReleaseFitSlot()
 	refund, ok := s.admitFit(w, r, &req, g)
 	if !ok {
 		return
@@ -666,6 +711,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "storing model: %v", err)
 		return
 	}
+	s.grantFor(r, tenant.ResourceModel, id)
 	info, _ := s.cfg.Registry.Stat(id)
 	writeJSON(w, http.StatusOK, fitResponse{ID: id, Info: info})
 }
@@ -725,6 +771,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Store && (req.Format == "text" || req.Format == "binary" || req.Format == "chunked") {
 		writeError(w, http.StatusBadRequest, "store returns a JSON summary; it cannot be combined with format %q", req.Format)
+		return
+	}
+	// Sampling is free of ε charges (the paper's post-processing property),
+	// but not free of scoping: a tenant samples only the models it fitted.
+	if !s.canAccess(r, tenant.ResourceModel, req.ID) {
+		writeError(w, http.StatusNotFound, "no model %q", req.ID)
 		return
 	}
 	// The shared decoded instance skips a per-request model decode; sampling
@@ -797,6 +849,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "storing sampled graph: %v", err)
 			return
 		}
+		s.grantFor(r, tenant.ResourceGraph, id)
 		resp.GraphID = id
 	} else if req.Format != "summary" {
 		resp.Graph = payloadFromGraph(g)

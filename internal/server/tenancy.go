@@ -1,11 +1,13 @@
 package server
 
 // Multi-tenant admission: API-key authentication, per-tenant rate limiting,
-// and ε-budget admission for DP fits. All of it is opt-in — a server built
-// without Config.Tenants behaves exactly as before (every pre-tenancy test
-// and client keeps working), while a tenant-enabled server authenticates
-// every API request, throttles per tenant, and charges each admitted DP fit
-// against the tenant's persistent ε-ledger for the fit's source graph.
+// ε-budget admission for DP fits, and per-tenant resource scoping. All of it
+// is opt-in — a server built without Config.Tenants behaves exactly as
+// before (every pre-tenancy test and client keeps working), while a
+// tenant-enabled server authenticates every API request, throttles per
+// tenant, charges each admitted DP fit against the tenant's persistent
+// ε-ledger for the fit's source graph, and confines every tenant to the
+// graphs, models and jobs it created itself.
 //
 // The division of labour follows the paper: fitting releases noised
 // measurements of the sensitive graph, so it is the one operation that costs
@@ -14,6 +16,20 @@ package server
 // information — they stay free of ledger charges (and a test pins that a
 // budget-exhausted tenant can still sample its fitted models), bounded only
 // by the tenant's request rate.
+//
+// Resource scoping is what makes the budgets mean anything: the uploaded
+// graphs are exactly the sensitive data the DP fit protects, so a tenant
+// that could download another tenant's raw graph (or delete its models and
+// cancel its jobs) would void the whole privacy story. Every created
+// resource records its creating tenant in the registry's persistent
+// ownership log; listings are filtered to the caller's resources and
+// cross-tenant reads, deletes and cancels answer 404 — indistinguishable
+// from the resource not existing. The stores underneath are
+// content-addressed and shared, so ownership is a per-resource set of
+// tenants: two tenants uploading the same graph each hold an independent
+// handle, and a DELETE evicts the shared bytes only when the last handle is
+// gone. Resources created while tenancy was disabled have no owner and are
+// invisible to every tenant once it is enabled.
 
 import (
 	"context"
@@ -63,12 +79,23 @@ func requestKey(r *http.Request) string {
 	return ""
 }
 
-// authExempt reports whether a path stays open without a key on a
-// tenant-enabled server: health, metrics and profiling are operator surfaces
-// scraped by infrastructure that has no tenant identity.
+// authExempt reports whether a path stays open without any credential on a
+// tenant-enabled server: only health, which carries aggregate counts and no
+// tenant data, so load balancers and probes need no identity.
 func authExempt(path string) bool {
+	return path == "/healthz" || path == "/v1/healthz"
+}
+
+// operatorPath reports whether a path is an operator surface: metrics, the
+// stats snapshot and profiling. On a tenant-enabled server these require the
+// tenants file's operator_token — the metrics registry exports per-tenant
+// labels (ε spends keyed by tenant and graph content address), so they must
+// not be open to the world, and tenant keys must not open them either
+// (tenant A would read tenant B's spends). Without a configured token they
+// fail closed.
+func operatorPath(path string) bool {
 	switch path {
-	case "/healthz", "/v1/healthz", "/metrics", "/v1/stats":
+	case "/metrics", "/v1/stats":
 		return true
 	}
 	return strings.HasPrefix(path, "/debug/pprof/")
@@ -83,6 +110,16 @@ func (s *Server) authenticate(next http.Handler) http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if operatorPath(r.URL.Path) {
+			if !s.cfg.Tenants.Operator(requestKey(r)) {
+				s.admissionRejects.With(rejectUnauthorized).Inc()
+				writeError(w, http.StatusUnauthorized,
+					"operator endpoints require the operator token on a tenant-enabled server (set operator_token in the tenants file)")
+				return
+			}
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -182,11 +219,74 @@ func (s *Server) admitFit(w http.ResponseWriter, r *http.Request, req *fitReques
 
 // onFitDone adapts a refund callback to the jobs layer's terminal hook: the
 // charge stands when the fit registered a model (even a cancelled fit that
-// got that far — its release is real) and comes back otherwise.
-func onFitDone(refund func()) func(bool) {
-	return func(produced bool) {
-		if !produced {
-			refund()
-		}
+// got that far — its release is real) and comes back otherwise. A registered
+// model is additionally recorded as owned by the submitting tenant, so the
+// tenant that paid the ε can actually reach the model it bought.
+func (s *Server) onFitDone(r *http.Request, refund func()) func(string) {
+	tenantID := ""
+	if t := tenantFrom(r.Context()); t != nil {
+		tenantID = t.ID
 	}
+	return func(modelID string) {
+		if modelID == "" {
+			refund()
+			return
+		}
+		s.grantResource(tenantID, tenant.ResourceModel, modelID)
+	}
+}
+
+// grantResource records tenantID as an owner of resource (kind, id) when
+// tenancy is enabled; a no-op otherwise. Grant failures (a full disk under
+// the ownership log) are logged, not fatal: the resource exists either way,
+// the tenant just cannot see it until an operator reconciles — failing
+// closed, like every other scoping decision.
+func (s *Server) grantResource(tenantID, kind, id string) {
+	if s.cfg.Tenants == nil || tenantID == "" || id == "" {
+		return
+	}
+	if err := s.cfg.Tenants.Grant(kind, id, tenantID); err != nil {
+		s.logger.Error("recording resource ownership failed",
+			"tenant", tenantID, "kind", kind, "id", id, "error", err)
+	}
+}
+
+// grantFor is grantResource keyed off the request's authenticated tenant.
+func (s *Server) grantFor(r *http.Request, kind, id string) {
+	if t := tenantFrom(r.Context()); t != nil {
+		s.grantResource(t.ID, kind, id)
+	}
+}
+
+// canAccess reports whether the request may touch resource (kind, id): with
+// tenancy disabled everything is reachable, with it only resources the
+// authenticated tenant owns. Handlers answer 404 on false, so another
+// tenant's resource is indistinguishable from a missing one.
+func (s *Server) canAccess(r *http.Request, kind, id string) bool {
+	if s.cfg.Tenants == nil {
+		return true
+	}
+	t := tenantFrom(r.Context())
+	return t != nil && s.cfg.Tenants.Owns(kind, id, t.ID)
+}
+
+// releaseResource drops the tenant's handle on resource (kind, id),
+// reporting whether the underlying shared resource should be evicted: with
+// tenancy disabled always (the caller is the only trust domain), with it
+// only when the last owner's handle is gone — content addressing means
+// another tenant may hold the same bytes.
+func (s *Server) releaseResource(r *http.Request, kind, id string) (evict bool) {
+	if s.cfg.Tenants == nil {
+		return true
+	}
+	t := tenantFrom(r.Context())
+	if t == nil {
+		return false
+	}
+	last, err := s.cfg.Tenants.RevokeOwner(kind, id, t.ID)
+	if err != nil {
+		s.logger.Error("recording resource revoke failed",
+			"tenant", t.ID, "kind", kind, "id", id, "error", err)
+	}
+	return last
 }

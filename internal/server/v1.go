@@ -14,6 +14,7 @@ import (
 	"agmdp/internal/graphstore"
 	"agmdp/internal/jobs"
 	"agmdp/internal/structural"
+	"agmdp/internal/tenant"
 )
 
 // graphResponse is the body of graph-creating endpoints.
@@ -102,12 +103,23 @@ func (s *Server) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "storing graph: %v", err)
 		return
 	}
+	s.grantFor(r, tenant.ResourceGraph, id)
 	info, _ := s.cfg.Graphs.Stat(id)
 	writeJSON(w, http.StatusCreated, graphResponse{ID: id, Info: info})
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, listGraphsResponse{Graphs: s.cfg.Graphs.List()})
+	graphs := s.cfg.Graphs.List()
+	if s.cfg.Tenants != nil {
+		scoped := graphs[:0]
+		for _, info := range graphs {
+			if s.canAccess(r, tenant.ResourceGraph, info.ID) {
+				scoped = append(scoped, info)
+			}
+		}
+		graphs = scoped
+	}
+	writeJSON(w, http.StatusOK, listGraphsResponse{Graphs: graphs})
 }
 
 // handleGetGraph stats a stored graph, or downloads it when ?format= names a
@@ -120,6 +132,13 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 // downloading an idle graph keeps its residency at O(header).
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Stored graphs are the sensitive inputs the DP fit protects: another
+	// tenant's graph must be indistinguishable from a missing one, in every
+	// format.
+	if !s.canAccess(r, tenant.ResourceGraph, id) {
+		writeError(w, http.StatusNotFound, "no graph %q", id)
+		return
+	}
 	format := r.URL.Query().Get("format")
 	switch format {
 	case "", "json", "text", "binary", "chunked":
@@ -172,9 +191,17 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.cfg.Graphs.Evict(id) {
+	if !s.canAccess(r, tenant.ResourceGraph, id) {
 		writeError(w, http.StatusNotFound, "no graph %q", id)
 		return
+	}
+	// Content addressing shares equal graphs across tenants: dropping this
+	// tenant's handle evicts the stored bytes only when it was the last.
+	if s.releaseResource(r, tenant.ResourceGraph, id) {
+		if !s.cfg.Graphs.Evict(id) && s.cfg.Tenants == nil {
+			writeError(w, http.StatusNotFound, "no graph %q", id)
+			return
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -242,7 +269,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		if !s.validateFitRequest(w, req.Fit) {
 			return
 		}
-		g := s.resolveFitInput(w, req.Fit)
+		g := s.resolveFitInput(w, r, req.Fit)
 		if g == nil {
 			return
 		}
@@ -276,13 +303,17 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if !s.canAccess(r, tenant.ResourceModel, req.ModelID) {
+		writeError(w, http.StatusNotFound, "no model %q", req.ModelID)
+		return
+	}
 	m, ok := s.cfg.Registry.Model(req.ModelID)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no model %q", req.ModelID)
 		return
 	}
 
-	id, err := s.cfg.Jobs.Submit(jobs.Spec{
+	spec := jobs.Spec{
 		Model:       m,
 		ModelID:     req.ModelID,
 		Count:       count,
@@ -291,21 +322,46 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		ModelKind:   req.Model,
 		Parallelism: req.Parallelism,
 		Store:       req.Store,
-	})
+	}
+	// Graphs the job stores back belong to the submitting tenant, like the
+	// synchronous store path. The hook fires on job goroutines; the
+	// ownership store is concurrency-safe.
+	if t := tenantFrom(r.Context()); t != nil && req.Store {
+		tenantID := t.ID
+		spec.OnStored = func(graphID string) {
+			s.grantResource(tenantID, tenant.ResourceGraph, graphID)
+		}
+	}
+	id, err := s.cfg.Jobs.Submit(spec)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "submitting job: %v", err)
 		return
 	}
+	s.grantFor(r, tenant.ResourceJob, id)
 	info, _, _ := s.cfg.Jobs.Get(id)
 	writeJSON(w, http.StatusAccepted, jobResponse{Info: info})
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, listJobsResponse{Jobs: s.cfg.Jobs.List()})
+	list := s.cfg.Jobs.List()
+	if s.cfg.Tenants != nil {
+		scoped := list[:0]
+		for _, info := range list {
+			if s.canAccess(r, tenant.ResourceJob, info.ID) {
+				scoped = append(scoped, info)
+			}
+		}
+		list = scoped
+	}
+	writeJSON(w, http.StatusOK, listJobsResponse{Jobs: list})
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if !s.canAccess(r, tenant.ResourceJob, id) {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
 	info, results, ok := s.cfg.Jobs.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no job %q", id)
@@ -323,6 +379,13 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Cross-tenant cancellation is 404 like every other scoped mutation.
+	// Ownership is not revoked on cancel: a cancelled running job is
+	// retained for result pickup, and job IDs are never reused.
+	if !s.canAccess(r, tenant.ResourceJob, id) {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
 	if !s.cfg.Jobs.Cancel(id) {
 		writeError(w, http.StatusNotFound, "no job %q", id)
 		return

@@ -1,0 +1,194 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOwnersGrantRevokeLastHandle(t *testing.T) {
+	o, err := OpenOwners("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	if o.Owns(ResourceGraph, "g1", "alpha") {
+		t.Fatal("fresh store owns something")
+	}
+	if err := o.Grant(ResourceGraph, "g1", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Grant(ResourceGraph, "g1", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-granting a held handle is a no-op, not a double handle.
+	if err := o.Grant(ResourceGraph, "g1", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Owns(ResourceGraph, "g1", "alpha") || !o.Owns(ResourceGraph, "g1", "beta") {
+		t.Fatal("granted handles not visible")
+	}
+	// Kinds are independent namespaces: a graph grant is not a model grant.
+	if o.Owns(ResourceModel, "g1", "alpha") {
+		t.Error("graph grant leaked into the model namespace")
+	}
+
+	// Dropping the first handle is not the last; dropping the second is.
+	last, err := o.Revoke(ResourceGraph, "g1", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last {
+		t.Error("revoke with another handle outstanding reported last=true")
+	}
+	if o.Owns(ResourceGraph, "g1", "alpha") {
+		t.Error("revoked handle still visible")
+	}
+	// Revoking a handle the tenant does not hold is a no-op.
+	if last, err := o.Revoke(ResourceGraph, "g1", "alpha"); err != nil || last {
+		t.Errorf("double revoke = (%v, %v), want (false, nil)", last, err)
+	}
+	last, err = o.Revoke(ResourceGraph, "g1", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !last {
+		t.Error("revoking the final handle reported last=false")
+	}
+}
+
+func TestOwnersRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o, err := OpenOwners(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Grant(ResourceModel, "m1", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Grant(ResourceModel, "m1", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Revoke(ResourceModel, "m1", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Grant(ResourceJob, "j1", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenOwners(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if ws := re.Warnings(); len(ws) != 0 {
+		t.Fatalf("clean log replayed with warnings: %v", ws)
+	}
+	if !re.Owns(ResourceModel, "m1", "alpha") {
+		t.Error("alpha's model handle lost across restart")
+	}
+	if re.Owns(ResourceModel, "m1", "beta") {
+		t.Error("beta's revoked handle resurrected by restart")
+	}
+	if !re.Owns(ResourceJob, "j1", "alpha") {
+		t.Error("job handle lost across restart")
+	}
+	// The replayed state keeps evolving: alpha's surviving handle is now the
+	// last one.
+	if last, err := re.Revoke(ResourceModel, "m1", "alpha"); err != nil || !last {
+		t.Errorf("post-restart revoke of sole handle = (%v, %v), want (true, nil)", last, err)
+	}
+}
+
+func TestOwnersCorruptLinesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	o, err := OpenOwners(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Grant(ResourceGraph, "g1", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a torn final line; an operator mishap can
+	// leave structurally valid JSON missing required fields. Both must be
+	// skipped with a warning, keeping every intact grant.
+	path := filepath.Join(dir, ownersFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"kind\":\"graph\",\"id\":\"g2\"}\n{\"kind\":\"graph\",\"id\":\"g3\",\"ten"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenOwners(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if ws := re.Warnings(); len(ws) != 2 {
+		t.Fatalf("warnings = %v, want 2 (field-less entry + torn line)", ws)
+	}
+	if !re.Owns(ResourceGraph, "g1", "alpha") {
+		t.Error("intact grant lost while skipping corrupt lines")
+	}
+}
+
+func TestOwnersClosedRefusesGrants(t *testing.T) {
+	o, err := OpenOwners(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Grant(ResourceGraph, "g1", "alpha"); err == nil {
+		t.Error("grant after Close on a persistent store succeeded")
+	}
+	if _, err := o.Revoke(ResourceGraph, "g1", "alpha"); err != nil {
+		t.Errorf("revoke of an unheld handle after Close = %v, want nil no-op", err)
+	}
+}
+
+// TestBucketBackwardsClock pins the rate limiter's monotonic watermark: a
+// clock that steps backwards (NTP correction) must not re-credit wall time
+// that was already credited, or a tenant could mint tokens by the size of
+// the step.
+func TestBucketBackwardsClock(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBucket(1, 10, t0)
+	for i := 0; i < 10; i++ {
+		if !b.allow(t0) {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	if b.allow(t0) {
+		t.Fatal("drained bucket admitted a request")
+	}
+	// The clock steps back 100s. A limiter that rewound its watermark would
+	// refill nothing now but re-credit those 100 seconds at the next forward
+	// reading — the request after next would mint ~101 tokens.
+	if b.allow(t0.Add(-100 * time.Second)) {
+		t.Fatal("drained bucket admitted a request on a backwards clock step")
+	}
+	// One second of real progress refills exactly one token: the first call
+	// is admitted, the second refused. Under the rewound-watermark bug the
+	// second call would be admitted too.
+	t1 := t0.Add(1 * time.Second)
+	if !b.allow(t1) {
+		t.Fatal("one elapsed second refilled no token")
+	}
+	if b.allow(t1) {
+		t.Fatal("one elapsed second refilled more than one token (backwards step re-credited wall time)")
+	}
+}

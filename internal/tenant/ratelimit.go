@@ -26,8 +26,10 @@ func newBucket(rate, burst float64, now time.Time) *bucket {
 }
 
 // allow consumes one token if available, refilling for the time elapsed
-// since the last call first. A clock that jumps backwards (NTP step) just
-// skips the refill for that call.
+// since the last call first. A clock that jumps backwards (NTP step) skips
+// the refill for that call and leaves the watermark where it was — rewinding
+// it would re-credit wall time that was already credited, letting a tenant
+// burst past its configured rate.
 func (b *bucket) allow(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -36,8 +38,8 @@ func (b *bucket) allow(now time.Time) bool {
 		if b.tokens > b.burst {
 			b.tokens = b.burst
 		}
+		b.last = now
 	}
-	b.last = now
 	if b.tokens < 1 {
 		return false
 	}

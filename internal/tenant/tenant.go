@@ -21,6 +21,8 @@ package tenant
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -76,6 +78,13 @@ type File struct {
 	// DefaultRatePerSec / DefaultBurst shape the default token bucket.
 	DefaultRatePerSec float64 `json:"default_rate_per_sec,omitempty"`
 	DefaultBurst      float64 `json:"default_burst,omitempty"`
+	// OperatorToken, when set, unlocks the operator surfaces (/metrics,
+	// /v1/stats, /debug/pprof/) on a tenant-enabled server. Those endpoints
+	// expose per-tenant labels (budget spends keyed by tenant and graph
+	// content address), so tenant keys do not open them — only this token
+	// does, and without one they fail closed. Like keys, the token is a
+	// credential and is never logged.
+	OperatorToken string `json:"operator_token,omitempty"`
 	// Tenants is the tenant list. At least one entry is required — an empty
 	// tenant file would lock every caller out.
 	Tenants []Tenant `json:"tenants"`
@@ -96,12 +105,19 @@ type Options struct {
 
 // Registry resolves API keys to tenants and enforces their budgets and rate
 // limits. Safe for concurrent use.
+//
+// Keys are looked up by SHA-256 digest, never by the raw string: map lookup
+// over raw credentials is a (weak) timing side channel for key guessing,
+// while digest lookup makes the comparison time independent of how much of
+// the key the caller got right.
 type Registry struct {
-	byKey    map[string]*Tenant
+	byKey    map[[sha256.Size]byte]*Tenant
 	byID     map[string]*Tenant
 	limits   map[string]*bucket
 	defaults File
+	opToken  []byte // SHA-256 of OperatorToken; nil when unset
 	ledger   *Ledger
+	owners   *Owners
 	clock    func() time.Time
 }
 
@@ -146,11 +162,15 @@ func New(file File, opts Options) (*Registry, error) {
 		clock = time.Now
 	}
 	r := &Registry{
-		byKey:    make(map[string]*Tenant, len(file.Tenants)),
+		byKey:    make(map[[sha256.Size]byte]*Tenant, len(file.Tenants)),
 		byID:     make(map[string]*Tenant, len(file.Tenants)),
 		limits:   make(map[string]*bucket, len(file.Tenants)),
 		defaults: file,
 		clock:    clock,
+	}
+	if file.OperatorToken != "" {
+		digest := sha256.Sum256([]byte(file.OperatorToken))
+		r.opToken = digest[:]
 	}
 	for i := range file.Tenants {
 		t := &file.Tenants[i]
@@ -160,11 +180,12 @@ func New(file File, opts Options) (*Registry, error) {
 		if _, dup := r.byID[t.ID]; dup {
 			return nil, fmt.Errorf("tenant: duplicate tenant id %q", t.ID)
 		}
-		if _, dup := r.byKey[t.Key]; dup {
+		digest := sha256.Sum256([]byte(t.Key))
+		if _, dup := r.byKey[digest]; dup {
 			return nil, fmt.Errorf("tenant: duplicate API key (tenant %q)", t.ID)
 		}
 		r.byID[t.ID] = t
-		r.byKey[t.Key] = t
+		r.byKey[digest] = t
 		rate, burst := t.RatePerSec, t.Burst
 		if rate <= 0 {
 			rate = file.DefaultRatePerSec
@@ -180,13 +201,37 @@ func New(file File, opts Options) (*Registry, error) {
 	}
 	ledger.clock = clock
 	r.ledger = ledger
+	owners, err := OpenOwners(opts.Dir)
+	if err != nil {
+		ledger.Close()
+		return nil, err
+	}
+	owners.clock = clock
+	r.owners = owners
 	return r, nil
 }
 
-// Resolve maps an API key to its tenant; ok is false for unknown keys.
+// Resolve maps an API key to its tenant; ok is false for unknown keys. The
+// lookup hashes the presented key first, so its timing does not depend on
+// how closely the guess matches any real key.
 func (r *Registry) Resolve(key string) (*Tenant, bool) {
-	t, ok := r.byKey[key]
+	if key == "" {
+		return nil, false
+	}
+	t, ok := r.byKey[sha256.Sum256([]byte(key))]
 	return t, ok
+}
+
+// Operator reports whether token is the configured operator token
+// (constant-time over digests). It is false for every token — including
+// valid tenant keys — when no operator token is configured: the operator
+// surfaces fail closed.
+func (r *Registry) Operator(token string) bool {
+	if r.opToken == nil || token == "" {
+		return false
+	}
+	digest := sha256.Sum256([]byte(token))
+	return subtle.ConstantTimeCompare(digest[:], r.opToken) == 1
 }
 
 // Lookup maps a tenant ID to its tenant (refund paths hold IDs, not keys).
@@ -231,8 +276,35 @@ func (r *Registry) Spent(tenantID, graphID string) float64 {
 	return r.ledger.Spent(tenantID, graphID)
 }
 
-// Warnings reports ledger lines skipped on load (see Ledger.Warnings).
-func (r *Registry) Warnings() []string { return r.ledger.Warnings() }
+// Grant records that the tenant holds a handle on resource (kind, id); see
+// Owners.Grant. The serving layer calls it whenever a tenant creates a
+// graph, model or job.
+func (r *Registry) Grant(kind, id, tenantID string) error {
+	return r.owners.Grant(kind, id, tenantID)
+}
 
-// Close releases the ledger's append handle.
-func (r *Registry) Close() error { return r.ledger.Close() }
+// RevokeOwner drops the tenant's handle on resource (kind, id), reporting
+// whether it was the last handle; see Owners.Revoke.
+func (r *Registry) RevokeOwner(kind, id, tenantID string) (last bool, err error) {
+	return r.owners.Revoke(kind, id, tenantID)
+}
+
+// Owns reports whether the tenant holds a handle on resource (kind, id).
+func (r *Registry) Owns(kind, id, tenantID string) bool {
+	return r.owners.Owns(kind, id, tenantID)
+}
+
+// Warnings reports ledger and ownership-log lines skipped on load (see
+// Ledger.Warnings, Owners.Warnings).
+func (r *Registry) Warnings() []string {
+	return append(r.ledger.Warnings(), r.owners.Warnings()...)
+}
+
+// Close releases the ledger's and ownership log's append handles.
+func (r *Registry) Close() error {
+	err := r.ledger.Close()
+	if oerr := r.owners.Close(); err == nil {
+		err = oerr
+	}
+	return err
+}
