@@ -8,17 +8,20 @@
 //	              [-keys KEY1,KEY2,...] [-dataset lastfm] [-scale 0.05]
 //	              [-epsilon 0.4] [-seed 1]
 //	              [-fit-weight 1] [-sample-weight 8] [-download-weight 2]
-//	              [-metrics-weight 1]
+//	              [-metrics-weight 1] [-graph-metrics-weight 2]
+//	              [-evaluate-weight 1]
 //	              [-slo-p95 500ms] [-max-error-rate 0.01]
 //
 // A setup phase fits one model synchronously from the configured dataset and
 // stores one sampled graph, so the steady-state mix exercises every endpoint
 // class from the first request:
 //
-//	fit       POST /v1/fit        (async; spends ε — the only op that does)
-//	sample    POST /v1/sample     (summary format; free post-processing)
-//	download  GET  /v1/graphs/{id}?format=binary
-//	metrics   GET  /v1/healthz
+//	fit           POST /v1/fit        (async; spends ε — the only op that does)
+//	sample        POST /v1/sample     (summary format; free post-processing)
+//	download      GET  /v1/graphs/{id}?format=binary
+//	metrics       GET  /v1/healthz
+//	graph_metrics GET  /v1/graphs/{id}/metrics  (content-addressed bundle cache)
+//	evaluate      POST /v1/evaluate   (utility evaluation as an async job)
 //
 // When -keys lists API keys, requests round-robin across them as N virtual
 // tenants (sent as X-API-Key), so per-tenant rate limits and ε-budgets are
@@ -77,10 +80,12 @@ func main() {
 
 // op names one endpoint class of the mix. The names double as report rows.
 const (
-	opFit      = "fit"
-	opSample   = "sample"
-	opDownload = "download"
-	opMetrics  = "metrics"
+	opFit          = "fit"
+	opSample       = "sample"
+	opDownload     = "download"
+	opMetrics      = "metrics"
+	opGraphMetrics = "graph_metrics"
+	opEvaluate     = "evaluate"
 )
 
 // result is one completed request: which op, how long, and how it ended.
@@ -121,6 +126,8 @@ func run(args []string, stdout io.Writer) error {
 		sampleW     = fs.Int("sample-weight", 8, "relative weight of sample requests")
 		downloadW   = fs.Int("download-weight", 2, "relative weight of graph downloads")
 		metricsW    = fs.Int("metrics-weight", 1, "relative weight of healthz probes")
+		graphMetW   = fs.Int("graph-metrics-weight", 2, "relative weight of graph metric-bundle requests")
+		evaluateW   = fs.Int("evaluate-weight", 1, "relative weight of evaluate-job submissions")
 		sloP95      = fs.Duration("slo-p95", 0, "per-endpoint p95 latency target (0 = no latency SLO)")
 		maxErrRate  = fs.Float64("max-error-rate", 0.01, "max tolerated error rate per endpoint (throttles excluded)")
 	)
@@ -146,6 +153,7 @@ func run(args []string, stdout io.Writer) error {
 		seed:        *seed,
 		weights: map[string]int{
 			opFit: *fitW, opSample: *sampleW, opDownload: *downloadW, opMetrics: *metricsW,
+			opGraphMetrics: *graphMetW, opEvaluate: *evaluateW,
 		},
 		sloP95:     *sloP95,
 		maxErrRate: *maxErrRate,
@@ -299,7 +307,7 @@ func load(cfg config, stdout io.Writer) error {
 	// The op schedule: a weighted slate each worker draws from with its own
 	// deterministic RNG stream.
 	var slate []string
-	for _, op := range []string{opFit, opSample, opDownload, opMetrics} {
+	for _, op := range []string{opFit, opSample, opDownload, opMetrics, opGraphMetrics, opEvaluate} {
 		for range cfg.weights[op] {
 			slate = append(slate, op)
 		}
@@ -337,6 +345,16 @@ func load(cfg config, stdout io.Writer) error {
 					status, err = c.do("GET", "/v1/graphs/"+sampled.GraphID+"?format=binary", key, nil)
 				case opMetrics:
 					status, err = c.do("GET", "/v1/healthz", key, nil)
+				case opGraphMetrics:
+					status, err = c.do("GET", "/v1/graphs/"+sampled.GraphID+"/metrics", key, nil)
+				case opEvaluate:
+					// Pair-mode self-evaluation of the stored sample: cheap,
+					// deterministic, and it exercises the whole evaluate job
+					// path (submission, scoping, utility metrics).
+					status, err = c.do("POST", "/v1/evaluate", key, map[string]any{
+						"source_graph_id":    sampled.GraphID,
+						"synthetic_graph_id": sampled.GraphID,
+					})
 				}
 				results <- result{
 					op:        op,
@@ -395,10 +413,10 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 // report prints the per-endpoint table and checks the SLO, returning
 // errSLOBreach when any endpoint missed it.
 func report(cfg config, perOp map[string]*opStats, stdout io.Writer) error {
-	fmt.Fprintf(stdout, "%-10s %8s %10s %10s %10s %8s %8s %9s\n",
+	fmt.Fprintf(stdout, "%-13s %8s %10s %10s %10s %8s %8s %9s\n",
 		"endpoint", "requests", "p50", "p95", "p99", "throttle", "errors", "err_rate")
 	var breaches []string
-	for _, op := range []string{opFit, opSample, opDownload, opMetrics} {
+	for _, op := range []string{opFit, opSample, opDownload, opMetrics, opGraphMetrics, opEvaluate} {
 		st := perOp[op]
 		if st == nil || st.total() == 0 {
 			continue
@@ -408,7 +426,7 @@ func report(cfg config, perOp map[string]*opStats, stdout io.Writer) error {
 		p95 := percentile(st.latencies, 95)
 		p99 := percentile(st.latencies, 99)
 		errRate := float64(st.errored) / float64(st.total())
-		fmt.Fprintf(stdout, "%-10s %8d %10v %10v %10v %8d %8d %8.2f%%\n",
+		fmt.Fprintf(stdout, "%-13s %8d %10v %10v %10v %8d %8d %8.2f%%\n",
 			op, st.total(), p50.Round(time.Microsecond), p95.Round(time.Microsecond),
 			p99.Round(time.Microsecond), st.throttled, st.errored, 100*errRate)
 		if cfg.sloP95 > 0 && p95 > cfg.sloP95 {

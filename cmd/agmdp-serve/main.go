@@ -10,7 +10,7 @@
 //	            [-workers N] [-queue N] [-parallelism N] [-seed 1]
 //	            [-max-models N] [-max-graphs N] [-jobs-retain N]
 //	            [-max-job-samples N] [-max-concurrent-fits N]
-//	            [-tenants FILE] [-tenant-dir DIR]
+//	            [-metrics-cache N] [-tenants FILE] [-tenant-dir DIR]
 //	            [-log-format text|json] [-pprof]
 //
 // The service speaks the versioned, resource-oriented /v1 API (see
@@ -22,6 +22,11 @@
 //	POST   /v1/fit           fit a model from a stored graph, inline graph or dataset
 //	                         (async:true detaches the fit into a job)
 //	POST   /v1/sample        sample synchronously (inline, stored, text or binary)
+//	GET    /v1/graphs/{id}/metrics
+//	                         canonical metric bundle of a stored graph, served
+//	                         from the content-addressed analytics cache
+//	POST   /v1/evaluate      utility evaluation (original vs synthetic) as an
+//	                         async job of kind "evaluate"
 //	POST   /v1/jobs          submit an async job: batch sampling, or kind:"fit"
 //	GET    /v1/jobs[/{id}]   list jobs / poll progress and results
 //	DELETE /v1/jobs/{id}     cancel (or drop) a job
@@ -74,6 +79,7 @@ import (
 	"syscall"
 	"time"
 
+	"agmdp/internal/analytics"
 	"agmdp/internal/engine"
 	"agmdp/internal/graphstore"
 	"agmdp/internal/jobs"
@@ -125,6 +131,7 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		jobsRetain    = fs.Int("jobs-retain", 0, "finished sampling jobs kept for result pickup (0 = default 64)")
 		maxJobSamples = fs.Int("max-job-samples", 0, "max samples per job (0 = default 1024)")
 		maxFits       = fs.Int("max-concurrent-fits", 0, "fit jobs running at once, the rest queue (0 = GOMAXPROCS, floored at 2)")
+		metricsCache  = fs.Int("metrics-cache", 0, "max metric bundles resident in memory (0 = default 128, negative = unbounded)")
 		tenantsFile   = fs.String("tenants", "", "tenants config JSON (enables API-key auth, per-tenant rate limits and ε-budgets)")
 		tenantDir     = fs.String("tenant-dir", "", "ε-ledger directory, persisted as append-only JSONL (empty = in-memory ledger)")
 		logFormat     = fs.String("log-format", "text", "structured log format: text or json")
@@ -169,6 +176,19 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 	defer graphs.Close()
 	for _, warning := range graphs.LoadWarnings() {
 		logger.Warn("skipped graph snapshot", "warning", warning)
+	}
+	// Metric bundles persist next to the graph snapshots they describe, so a
+	// deployment that persists its graphs serves warm analytics across
+	// restarts; without a graph-store directory the bundle cache is
+	// memory-only, like the graphs themselves.
+	metrics, err := analytics.NewCache(analytics.Options{
+		Source:      graphs,
+		Dir:         *graphStore,
+		MaxEntries:  *metricsCache,
+		Parallelism: *parallelism,
+	})
+	if err != nil {
+		return err
 	}
 	eng := engine.New(engine.Config{
 		Workers:     *workers,
@@ -231,6 +251,7 @@ func run(args []string, stdout io.Writer, ready func(addr string, stop func())) 
 		Engine:          eng,
 		Graphs:          graphs,
 		Jobs:            jobMgr,
+		Analytics:       metrics,
 		MaxJobSamples:   *maxJobSamples,
 		FitParallelism:  *parallelism,
 		Logger:          logger,

@@ -1,0 +1,108 @@
+package analytics
+
+import (
+	"container/list"
+	"sync"
+
+	"agmdp/internal/obs"
+)
+
+// DefaultMemoEntries bounds the sample-request memo when NewSampleMemo is
+// given a non-positive size.
+const DefaultMemoEntries = 1024
+
+var (
+	memoHits = obs.Default().Counter("agmdp_analytics_sample_memo_hits_total",
+		"Sample requests answered from the content-addressed request memo without touching the engine.")
+	memoMisses = obs.Default().Counter("agmdp_analytics_sample_memo_misses_total",
+		"Memoisable sample requests that had to run on the engine.")
+)
+
+// SampleKey identifies a sample request by everything that determines its
+// result: seeded sampling from an immutable fitted model is deterministic at
+// a fixed parallelism, so two requests with equal keys produce byte-identical
+// graphs and therefore identical result metadata. ModelID is the content
+// address of the serialized model; Parallelism must be the resolved worker
+// count (not the request's raw 0), since the parallel edge proposers merge
+// streams per worker.
+type SampleKey struct {
+	ModelID     string
+	Seed        int64
+	Iterations  int
+	ModelKind   string
+	Parallelism int
+}
+
+// SampleMeta is the memoised result metadata of one sample request.
+type SampleMeta struct {
+	Seed      int64
+	Nodes     int
+	Edges     int
+	Triangles int64
+}
+
+// SampleMemo is a bounded LRU memo of sample-request metadata, keyed by the
+// full request identity. It memoises metadata only — graphs are large and
+// either discarded or content-addressed in the graph store — so a hit skips
+// the sampler and the metric passes entirely. Entries never go stale: models
+// are immutable once fitted, and eviction of a model leaves at worst a
+// harmless entry that ages out by LRU.
+type SampleMemo struct {
+	mu  sync.Mutex
+	max int
+	m   map[SampleKey]*list.Element
+	lru *list.List // of memoEntry, most recently used in front
+}
+
+type memoEntry struct {
+	key  SampleKey
+	meta SampleMeta
+}
+
+// NewSampleMemo builds a memo bounded to max entries (≤ 0 selects
+// DefaultMemoEntries).
+func NewSampleMemo(max int) *SampleMemo {
+	if max <= 0 {
+		max = DefaultMemoEntries
+	}
+	return &SampleMemo{max: max, m: make(map[SampleKey]*list.Element), lru: list.New()}
+}
+
+// Get returns the memoised metadata for a request key, counting the lookup
+// as a hit or miss.
+func (s *SampleMemo) Get(key SampleKey) (SampleMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		s.lru.MoveToFront(el)
+		memoHits.Inc()
+		return el.Value.(memoEntry).meta, true
+	}
+	memoMisses.Inc()
+	return SampleMeta{}, false
+}
+
+// Put memoises the metadata of a completed request, evicting the least
+// recently used entry when over the bound.
+func (s *SampleMemo) Put(key SampleKey, meta SampleMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value = memoEntry{key: key, meta: meta}
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.lru.PushFront(memoEntry{key: key, meta: meta})
+	for s.lru.Len() > s.max {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.m, back.Value.(memoEntry).key)
+	}
+}
+
+// Len reports the number of memoised requests.
+func (s *SampleMemo) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}

@@ -1,0 +1,248 @@
+package jobs
+
+// Evaluate jobs: serving-side utility evaluation. An evaluate job measures
+// the paper's Table 2–5 error columns of synthetic graphs against an original
+// graph — either one stored synthetic graph (pair mode), or Count fresh
+// samples drawn from a fitted model (model mode), with the per-sample rows
+// and their running average filling into the job's Info as they complete.
+// Evaluation reads a fitted model and graphs that already exist; it is pure
+// post-processing of DP outputs and spends no privacy budget.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"agmdp/internal/analytics"
+	"agmdp/internal/core"
+	"agmdp/internal/engine"
+	"agmdp/internal/graph"
+	"agmdp/internal/obs"
+)
+
+// EvalSpec describes one asynchronous utility evaluation.
+type EvalSpec struct {
+	// Source is the original graph the synthetic output is measured against.
+	// Required. Graphs are immutable, so the manager shares the caller's
+	// instance.
+	Source *graph.Graph
+	// SourceID optionally records the graph store ID of Source; it is echoed
+	// in the job's Info and result.
+	SourceID string
+
+	// Synthetic selects pair mode: measure this one stored graph against
+	// Source. Exactly one of Synthetic and Model must be set.
+	Synthetic *graph.Graph
+	// SyntheticID optionally records the graph store ID of Synthetic.
+	SyntheticID string
+
+	// Model selects model mode: draw Count samples from this fitted model and
+	// measure each against Source.
+	Model *core.FittedModel
+	// ModelID is the registry ID of Model; it keys the engine's
+	// acceptance-table cache and is echoed in the job's Info.
+	ModelID string
+	// Count is the number of samples to evaluate in model mode (>= 1); pair
+	// mode always evaluates exactly one.
+	Count int
+	// Seed, when non-zero, seeds sample i with Seed+i exactly like a sample
+	// job, so an evaluation is reproducible against the batch it scores.
+	Seed int64
+	// Iterations, ModelKind and Parallelism are passed through to each engine
+	// request; Parallelism additionally bounds the metric passes.
+	Iterations  int
+	ModelKind   string
+	Parallelism int
+}
+
+// EvalSample is the outcome of one evaluated sample within a job.
+type EvalSample struct {
+	Index     int    `json:"index"`
+	Seed      int64  `json:"seed,omitempty"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Triangles int64  `json:"triangles"`
+	Error     string `json:"error,omitempty"`
+	// Metrics holds the utility error columns of this sample against the
+	// source graph; nil when the sample failed.
+	Metrics *analytics.UtilityMetrics `json:"metrics,omitempty"`
+}
+
+// EvalResult is the outcome of an evaluate job.
+type EvalResult struct {
+	// SourceGraphID is the graph store ID of the original graph.
+	SourceGraphID string `json:"source_graph_id,omitempty"`
+	// SyntheticGraphID is set in pair mode: the stored synthetic graph that
+	// was measured.
+	SyntheticGraphID string `json:"synthetic_graph_id,omitempty"`
+	// ModelID is set in model mode: the fitted model the samples came from.
+	ModelID string `json:"model_id,omitempty"`
+	// Samples holds one row per evaluated sample, in index order.
+	Samples []EvalSample `json:"samples"`
+	// Average is the element-wise mean over the successful samples; nil until
+	// at least one sample succeeds.
+	Average *analytics.UtilityMetrics `json:"average,omitempty"`
+}
+
+// SubmitEvaluate accepts an evaluate job and starts it in the background,
+// returning its ID.
+func (m *Manager) SubmitEvaluate(spec EvalSpec) (string, error) {
+	if spec.Source == nil {
+		return "", errors.New("jobs: nil source graph in evaluate spec")
+	}
+	switch {
+	case spec.Synthetic != nil && spec.Model != nil:
+		return "", errors.New("jobs: evaluate spec sets both a synthetic graph and a model; want exactly one")
+	case spec.Synthetic != nil:
+		spec.Count = 1
+	case spec.Model != nil:
+		if spec.Count < 1 {
+			return "", fmt.Errorf("jobs: evaluate sample count %d, want >= 1", spec.Count)
+		}
+		// Same rule as sample jobs: sample i runs with seed Seed+i, and seed 0
+		// means "unseeded" to the engine.
+		if spec.Seed < 0 && spec.Seed+int64(spec.Count) > 0 {
+			return "", fmt.Errorf("jobs: seed range [%d, %d] crosses 0 (sample seeds are seed+index; 0 means unseeded)",
+				spec.Seed, spec.Seed+int64(spec.Count)-1)
+		}
+	default:
+		return "", errors.New("jobs: evaluate spec needs a synthetic graph or a model")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		eval:   spec,
+		stages: obs.NewStageTimer(),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	m.seq++
+	m.persistSeqLocked()
+	id := fmt.Sprintf("job-%06d", m.seq)
+	j.info = Info{
+		ID:        id,
+		Kind:      KindEvaluate,
+		ModelID:   spec.ModelID,
+		GraphID:   spec.SourceID,
+		Status:    StatusQueued,
+		Count:     spec.Count,
+		CreatedAt: m.opts.Clock(),
+		Eval: &EvalResult{
+			SourceGraphID:    spec.SourceID,
+			SyntheticGraphID: spec.SyntheticID,
+			ModelID:          spec.ModelID,
+			Samples:          []EvalSample{},
+		},
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.runEvaluate(ctx, j)
+	return id, nil
+}
+
+// runEvaluate executes one evaluate job: samples run sequentially (each
+// sample's generation and metric passes are internally parallel at the spec's
+// parallelism), the running average updates after every success, and
+// cancellation is honoured between samples.
+func (m *Manager) runEvaluate(ctx context.Context, j *job) {
+	defer m.wg.Done()
+	defer j.cancel()
+
+	j.mu.Lock()
+	spec := j.eval
+	j.info.Status = StatusRunning
+	j.info.StartedAt = m.opts.Clock()
+	count := j.info.Count
+	j.mu.Unlock()
+
+	var metrics []analytics.UtilityMetrics
+	for i := 0; i < count && ctx.Err() == nil; i++ {
+		sample := m.evalSample(ctx, j, spec, i)
+		if sample == nil { // cancelled mid-sample
+			break
+		}
+		j.mu.Lock()
+		j.info.Eval.Samples = append(j.info.Eval.Samples, *sample)
+		if sample.Error != "" {
+			j.info.Failed++
+		} else {
+			j.info.Completed++
+			metrics = append(metrics, *sample.Metrics)
+			avg := analytics.AverageUtility(metrics)
+			j.info.Eval.Average = &avg
+		}
+		j.mu.Unlock()
+	}
+
+	m.finish(j, func(info *Info) {
+		switch {
+		case ctx.Err() != nil:
+			info.Status = StatusCancelled
+		case info.Completed == 0:
+			info.Status = StatusFailed
+		default:
+			info.Status = StatusDone
+		}
+	})
+}
+
+// evalSample produces and scores sample i of an evaluate job. It returns nil
+// only when the context was cancelled before a result could be recorded.
+func (m *Manager) evalSample(ctx context.Context, j *job, spec EvalSpec, i int) *EvalSample {
+	sample := &EvalSample{Index: i}
+	synthetic := spec.Synthetic
+	if synthetic == nil {
+		sctx := ctx
+		if m.opts.SampleTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(ctx, m.opts.SampleTimeout)
+			defer cancel()
+		}
+		var seed int64
+		if spec.Seed != 0 {
+			seed = spec.Seed + int64(i)
+		}
+		start := time.Now()
+		g, usedSeed, err := m.opts.Engine.SampleSeeded(sctx, engine.Request{
+			Model:       spec.Model,
+			Seed:        seed,
+			Iterations:  spec.Iterations,
+			ModelKind:   spec.ModelKind,
+			Parallelism: spec.Parallelism,
+			CacheKey:    spec.ModelID,
+		})
+		recordStage(j, KindEvaluate, "sample", time.Since(start))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			sample.Error = err.Error()
+			return sample
+		}
+		sample.Seed = usedSeed
+		synthetic = g
+	}
+
+	start := time.Now()
+	u := analytics.Compare(spec.Source, synthetic, spec.Parallelism)
+	recordStage(j, KindEvaluate, "compare", time.Since(start))
+	if ctx.Err() != nil {
+		return nil
+	}
+	sample.Nodes = synthetic.NumNodes()
+	sample.Edges = synthetic.NumEdges()
+	sample.Triangles = synthetic.TrianglesWith(spec.Parallelism)
+	sample.Metrics = &u
+	return sample
+}

@@ -1,11 +1,14 @@
 // Package jobs provides a typed asynchronous job manager for the synthesis
-// service. Two job kinds share one lifecycle, listing and retention surface:
+// service. Three job kinds share one lifecycle, listing and retention surface:
 //
 //   - sample jobs draw a batch of synthetic graphs from a fitted model
-//     through the engine (the original job type), and
+//     through the engine (the original job type),
 //   - fit jobs run a full (optionally differentially private) model fit and
 //     register the result in a model store, so huge fits return a job ID
-//     instead of holding an HTTP connection open for minutes.
+//     instead of holding an HTTP connection open for minutes, and
+//   - evaluate jobs measure the paper's utility metrics of synthetic graphs
+//     against their original — either one stored pair, or fresh samples drawn
+//     from a fitted model — at no privacy cost (pure post-processing).
 //
 // The synchronous endpoints hold a connection open for the whole operation,
 // which caps the work at whatever a client (and its proxies) will tolerate as
@@ -68,6 +71,9 @@ const (
 	KindSample Kind = "sample"
 	// KindFit fits a model from a graph and registers it in the model store.
 	KindFit Kind = "fit"
+	// KindEvaluate measures the utility of synthetic graphs against an
+	// original graph (Tables 2–5 error columns).
+	KindEvaluate Kind = "evaluate"
 )
 
 // Status is a job's lifecycle state.
@@ -156,6 +162,10 @@ type Info struct {
 	Failed    int        `json:"failed"`
 	Stored    int        `json:"stored,omitempty"`
 	Fit       *FitResult `json:"fit,omitempty"`
+	// Eval carries an evaluate job's utility measurements; it fills in as
+	// samples complete, so polls observe partial results, and persists with
+	// the finished record.
+	Eval *EvalResult `json:"eval,omitempty"`
 	// Stages breaks the job's wall-clock time into pipeline stages
 	// (first-seen order; repeated stages accumulate). It is populated when
 	// the job reaches a terminal status and persisted with the finished
@@ -222,9 +232,25 @@ type job struct {
 	results []SampleResult
 	spec    Spec
 	fit     FitSpec
+	eval    EvalSpec
 	stages  *obs.StageTimer // nil for jobs reloaded from disk
 	cancel  context.CancelFunc
 	done    chan struct{}
+}
+
+// infoSnapshot returns a copy of j.info that is safe to use after j.mu is
+// released. The Eval result is the one Info field that keeps mutating while
+// the job runs (samples append, the average is recomputed), so it is
+// deep-copied; Fit is only ever set at terminal time and the per-sample
+// Metrics pointers are write-once. Callers hold j.mu.
+func (j *job) infoSnapshot() Info {
+	info := j.info
+	if info.Eval != nil {
+		ev := *info.Eval
+		ev.Samples = append([]EvalSample(nil), ev.Samples...)
+		info.Eval = &ev
+	}
+	return info
 }
 
 // recordStage accumulates one stage duration on a job's timer and on the
@@ -408,7 +434,7 @@ func (m *Manager) finish(j *job, decide func(info *Info)) {
 	if j.stages != nil {
 		j.info.Stages = j.stages.Stages()
 	}
-	rec := persistedJob{Info: j.info, Results: append([]SampleResult(nil), j.results...)}
+	rec := persistedJob{Info: j.infoSnapshot(), Results: append([]SampleResult(nil), j.results...)}
 	id := j.info.ID
 	j.mu.Unlock()
 	// Waiters are signalled at the end of finish, after the persisted record
@@ -548,7 +574,7 @@ func (m *Manager) Get(id string) (Info, []SampleResult, bool) {
 	defer j.mu.Unlock()
 	results := make([]SampleResult, len(j.results))
 	copy(results, j.results)
-	return j.info, results, true
+	return j.infoSnapshot(), results, true
 }
 
 // List returns a snapshot of every retained job, oldest submission first.
@@ -566,7 +592,7 @@ func (m *Manager) List() []Info {
 	out := make([]Info, 0, len(jobs))
 	for _, j := range jobs {
 		j.mu.Lock()
-		out = append(out, j.info)
+		out = append(out, j.infoSnapshot())
 		j.mu.Unlock()
 	}
 	return out

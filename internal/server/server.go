@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"agmdp/internal/analytics"
 	"agmdp/internal/core"
 	"agmdp/internal/datasets"
 	"agmdp/internal/dp"
@@ -50,6 +51,11 @@ type Config struct {
 	// manager over Engine and Graphs is created (and owned by the server:
 	// Close shuts it down).
 	Jobs *jobs.Manager
+	// Analytics is the content-addressed metric-bundle cache behind
+	// GET /v1/graphs/{id}/metrics; when nil a memory-only cache over Graphs
+	// is created. Inject a cache with a directory (typically the graph
+	// store's) to persist bundles as <id>.metrics next to the snapshots.
+	Analytics *analytics.Cache
 	// FitTimeout bounds synchronous POST /fit requests (default 5 minutes).
 	// Fitting runs in the request goroutine under a context carrying this
 	// deadline: it bounds the wait for one of the jobs manager's fit slots
@@ -115,6 +121,14 @@ type Server struct {
 	start    time.Time
 	logger   *slog.Logger
 
+	// analytics is Config.Analytics (or the default cache built over the
+	// graph store); sampleMemo memoises identical seeded summary samples by
+	// their full request identity — in-memory only, so a restart (which may
+	// change the resolved parallelism defaults) can never serve stale
+	// metadata.
+	analytics  *analytics.Cache
+	sampleMemo *analytics.SampleMemo
+
 	// Per-route request metrics, registered on cfg.Metrics at construction.
 	httpRequests *obs.CounterVec
 	httpDur      *obs.HistogramVec
@@ -171,6 +185,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		ownsJobs = true
 	}
+	if cfg.Analytics == nil {
+		var err error
+		cfg.Analytics, err = analytics.NewCache(analytics.Options{
+			Source:      cfg.Graphs,
+			Parallelism: cfg.FitParallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default()
 	}
@@ -178,11 +202,13 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logger = slog.Default()
 	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		ownsJobs: ownsJobs,
-		start:    time.Now(),
-		logger:   cfg.Logger,
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		ownsJobs:   ownsJobs,
+		start:      time.Now(),
+		logger:     cfg.Logger,
+		analytics:  cfg.Analytics,
+		sampleMemo: analytics.NewSampleMemo(0),
 		httpRequests: cfg.Metrics.CounterVec("agmdp_http_requests_total",
 			"HTTP requests served, by route pattern, method and status code.",
 			"route", "method", "code"),
@@ -213,7 +239,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/metrics", s.handleGraphMetrics)
 	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -791,6 +819,35 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "negative parallelism %d", req.Parallelism)
 		return
 	}
+
+	// Content-addressed request memo: a seeded summary sample is a pure
+	// function of (model ID, seed, iterations, model kind, parallelism) —
+	// models are immutable and seeded sampling is deterministic at a fixed
+	// parallelism — so a repeat of an identical request skips the sampler
+	// entirely. Only the graph-free summary shape memoises (graphs are served
+	// from the content-addressed store instead), and only after the scoping
+	// checks above, so a memo hit can never leak across tenants.
+	var memoKey *analytics.SampleKey
+	if req.Seed != 0 && req.Format == "summary" && !req.Store {
+		memoKey = &analytics.SampleKey{
+			ModelID:     req.ID,
+			Seed:        req.Seed,
+			Iterations:  req.Iterations,
+			ModelKind:   req.Model,
+			Parallelism: req.Parallelism,
+		}
+		if meta, ok := s.sampleMemo.Get(*memoKey); ok {
+			writeJSON(w, http.StatusOK, sampleResponse{
+				ID:        req.ID,
+				Seed:      meta.Seed,
+				Nodes:     meta.Nodes,
+				Edges:     meta.Edges,
+				Triangles: meta.Triangles,
+			})
+			return
+		}
+	}
+
 	ereq := engine.Request{
 		Model:       m,
 		Seed:        req.Seed,
@@ -853,6 +910,14 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		resp.GraphID = id
 	} else if req.Format != "summary" {
 		resp.Graph = payloadFromGraph(g)
+	}
+	if memoKey != nil {
+		s.sampleMemo.Put(*memoKey, analytics.SampleMeta{
+			Seed:      resp.Seed,
+			Nodes:     resp.Nodes,
+			Edges:     resp.Edges,
+			Triangles: resp.Triangles,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -198,7 +198,11 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	// Content addressing shares equal graphs across tenants: dropping this
 	// tenant's handle evicts the stored bytes only when it was the last.
 	if s.releaseResource(r, tenant.ResourceGraph, id) {
-		if !s.cfg.Graphs.Evict(id) && s.cfg.Tenants == nil {
+		if s.cfg.Graphs.Evict(id) {
+			// The graph is gone; drop its cached metric bundle (memory and
+			// the persisted .metrics file) with it.
+			s.analytics.Evict(id)
+		} else if s.cfg.Tenants == nil {
 			writeError(w, http.StatusNotFound, "no graph %q", id)
 			return
 		}
@@ -276,7 +280,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		s.submitFitJob(w, r, req.Fit, g)
 		return
 	default:
-		writeError(w, http.StatusBadRequest, "unknown job kind %q (want %q or %q)", req.Kind, jobs.KindSample, jobs.KindFit)
+		writeError(w, http.StatusBadRequest, "unknown job kind %q (want %q or %q; evaluations submit via POST /v1/evaluate)", req.Kind, jobs.KindSample, jobs.KindFit)
 		return
 	}
 	count := req.Count

@@ -30,6 +30,10 @@
 #   PR 9 pairs — the ε-ledger admission hot path: the in-memory charge vs
 #                the durable (JSONL append + fsync) charge — the ratio is
 #                the price of crash-safe privacy accounting per admitted fit
+#   PR 10 pairs — the analytics cache: a warm metric-bundle serve (cache
+#                hit) vs a cold compute over the 118k-edge fixture, and the
+#                evaluate job's utility comparison fanned across cores vs
+#                sequential
 #
 # BENCH_PKGS overrides the benchmarked packages (the root package holds the
 # much slower paper-reproduction benchmarks, e.g. BENCH_PKGS=. scripts/bench.sh).
@@ -38,8 +42,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr9.json}"
-pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/ ./internal/graphstore/ ./internal/tenant/}"
+out="${1:-BENCH_pr10.json}"
+pkgs="${BENCH_PKGS:-./internal/graph/ ./internal/structural/ ./internal/triangles/ ./internal/obs/ ./internal/graphstore/ ./internal/tenant/ ./internal/analytics/}"
 benchtime="1s"
 if [ "${BENCH_SHORT:-0}" != "0" ]; then
   benchtime="100ms"
@@ -138,6 +142,13 @@ pairs = {
     # durability buys; the persisted number is the real admission cost).
     "ledger_spend_memory_vs_persisted": (
         "BenchmarkLedgerSpendPersisted", "BenchmarkLedgerSpendMemory"),
+    # PR 10: the analytics cache — a warm (cache-hit) metric-bundle serve vs
+    # the cold compute+encode it replaces — and the evaluate job's utility
+    # comparison parallel vs sequential.
+    "metrics_bundle_warm_vs_cold": (
+        "BenchmarkMetricsBundleCold", "BenchmarkMetricsBundleWarm"),
+    "evaluate_parallel_vs_sequential": (
+        "BenchmarkEvaluateSequential", "BenchmarkEvaluateParallel"),
 }
 speedups = {}
 for key, (base, new) in pairs.items():

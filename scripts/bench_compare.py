@@ -70,6 +70,24 @@ def main():
     if only_current:
         print()
         print("new benchmarks (no baseline): " + ", ".join(only_current))
+
+    # Speedup pairs may be one-sided: a pair added in the current PR has no
+    # baseline value, and an old pair can drop out when its benchmarks move
+    # packages. Report what both runs have, list the rest without failing.
+    cur_speed = cur_doc.get("speedups") or {}
+    base_speed = base_doc.get("speedups") or {}
+    common_speed = sorted(set(cur_speed) & set(base_speed))
+    if common_speed:
+        print()
+        w = max(len(k) for k in common_speed)
+        print(f"{'speedup pair':<{w}}  {'baseline':>8}  {'current':>8}")
+        for key in common_speed:
+            print(f"{key:<{w}}  {base_speed[key]:>8.2f}  {cur_speed[key]:>8.2f}")
+    one_sided = sorted(set(cur_speed) ^ set(base_speed))
+    if one_sided:
+        print()
+        print("one-sided speedup pairs (present in only one run): "
+              + ", ".join(f"{k}={cur_speed.get(k, base_speed.get(k))}" for k in one_sided))
     print()
     print(f"{regressions} benchmark(s) >=1.25x slower than baseline "
           "(report-only; shared-runner noise makes a hard gate flaky)")
